@@ -1,0 +1,92 @@
+// Fig. 1: average time (ns) per symbol for the mget and search primitives
+// over n-bit packed data vectors, for every bit case n = 1..32 (§3.1.3).
+//
+// The paper measures SIMD kernels on a Xeon E5-2697 v3; here the portable
+// word-parallel kernels are measured. The expected shape — cost growing with
+// the bit width, search at least as expensive as mget — is what this bench
+// verifies.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "encoding/bit_packing.h"
+
+namespace payg {
+namespace {
+
+constexpr uint64_t kSymbols = 1 << 22;  // 4M symbols per measurement
+
+PackedVector MakeVector(uint32_t bits) {
+  Random rng(bits);
+  PackedVector pv(bits);
+  const uint64_t mask = LowMask(bits);
+  for (uint64_t i = 0; i < kSymbols; ++i) {
+    // Reserve the all-ones code as the search probe so the search
+    // measurement is a pure scan (result-set cost excluded), as in the
+    // paper's micro benchmark.
+    uint64_t v = rng.Next() & mask;
+    if (v == mask) v = 0;
+    pv.Append(v);
+  }
+  return pv;
+}
+
+void BM_MGet(benchmark::State& state) {
+  const uint32_t bits = static_cast<uint32_t>(state.range(0));
+  PackedVector pv = MakeVector(bits);
+  std::vector<uint32_t> out(kSymbols);
+  for (auto _ : state) {
+    pv.MGet(0, kSymbols, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["ns_per_symbol"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(kSymbols),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_Search(benchmark::State& state) {
+  const uint32_t bits = static_cast<uint32_t>(state.range(0));
+  PackedVector pv = MakeVector(bits);
+  // Probe for a rare value so the output stays small and the measurement is
+  // dominated by the scan, as in the paper's micro benchmark.
+  const uint64_t probe = LowMask(bits);
+  std::vector<RowPos> out;
+  for (auto _ : state) {
+    out.clear();
+    PackedSearchEq(pv.words(), bits, 0, kSymbols, probe, 0, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["ns_per_symbol"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(kSymbols),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_SearchRange(benchmark::State& state) {
+  const uint32_t bits = static_cast<uint32_t>(state.range(0));
+  PackedVector pv = MakeVector(bits);
+  const uint64_t hi = LowMask(bits);
+  std::vector<RowPos> out;
+  for (auto _ : state) {
+    out.clear();
+    PackedSearchRange(pv.words(), bits, 0, kSymbols, hi, hi, 0, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["ns_per_symbol"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(kSymbols),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BitCases(benchmark::internal::Benchmark* b) {
+  for (int n = 1; n <= 32; ++n) b->Arg(n);
+}
+
+BENCHMARK(BM_MGet)->Apply(BitCases)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Search)->Apply(BitCases)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SearchRange)->Apply(BitCases)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace payg
+
+BENCHMARK_MAIN();

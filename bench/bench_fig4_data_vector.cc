@@ -1,0 +1,30 @@
+// Fig. 4: single read of a numeric column through the paged data vector.
+// Workload Q_pk^num — SELECT C_num FROM T WHERE C_pk = value for random
+// rows — on T_p (all non-pk columns page loadable) vs. T_b (§6.2.1).
+//
+// The query exercises only the paged data vector code path: the pk (not
+// paged in T_p) is probed through its index, then one vid of the numeric
+// column is decoded; the numeric dictionary is memory resident.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace payg;
+  using namespace payg::bench;
+  BenchEnv env = ReadEnv("fig4");
+  std::printf("# Fig 4 — Q_pk^num on T_b vs T_p: rows=%llu queries=%llu "
+              "latency_us=%u\n",
+              static_cast<unsigned long long>(env.rows),
+              static_cast<unsigned long long>(env.queries), env.latency_us);
+  RunFigure("fig4", env, TableVariant::kBase, TableVariant::kPagedAll,
+            /*with_indexes=*/false, /*query_seed=*/401,
+            [](Table* table, ErpWorkload& w) {
+              uint64_t row = w.RandomRow();
+              int col = w.RandomNumericColumn();
+              auto r = table->SelectByValue("pk", w.PkOfRow(row),
+                                            {w.columns()[col].name});
+              BENCH_CHECK_OK(r);
+              if (r->rows.size() != 1) std::abort();
+            });
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Fig. 5: single read of a string column — paged dictionary (via value-id
+// materialization) plus paged data vector. Workload Q_pk^str — SELECT C_str
+// FROM T WHERE C_pk = value for random rows — on T_p vs. T_b (§6.2.2).
+//
+// Each query reads one vid from the paged data vector, probes the helper
+// value-id directory, and materializes one string from one dictionary page.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace payg;
+  using namespace payg::bench;
+  BenchEnv env = ReadEnv("fig5");
+  std::printf("# Fig 5 — Q_pk^str on T_b vs T_p: rows=%llu queries=%llu "
+              "latency_us=%u\n",
+              static_cast<unsigned long long>(env.rows),
+              static_cast<unsigned long long>(env.queries), env.latency_us);
+  RunFigure("fig5", env, TableVariant::kBase, TableVariant::kPagedAll,
+            /*with_indexes=*/false, /*query_seed=*/501,
+            [](Table* table, ErpWorkload& w) {
+              uint64_t row = w.RandomRow();
+              int col = w.RandomColumnOfType(ValueType::kString, false);
+              auto r = table->SelectByValue("pk", w.PkOfRow(row),
+                                            {w.columns()[col].name});
+              BENCH_CHECK_OK(r);
+              if (r->rows.size() != 1) std::abort();
+            });
+  return 0;
+}

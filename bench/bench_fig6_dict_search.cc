@@ -1,0 +1,35 @@
+// Fig. 6: multiple reads of paged dictionaries through the findByValue path.
+// Workload Q_str^count — SELECT COUNT(*) FROM T WHERE C_str = value for
+// random string values — on T_p vs. T_b (§6.2.2).
+//
+// Each query probes the helper separator dictionary (ipDict_Value), loads
+// one dictionary page to resolve the value identifier, then scans the data
+// vector (no inverted indexes are defined on non-pk columns here). The paper
+// observes a fast-rising memory footprint for the first few hundred queries
+// and large early runtime ratios; the same burst appears at this scale.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace payg;
+  using namespace payg::bench;
+  BenchEnv env = ReadEnv("fig6");
+  std::printf("# Fig 6 — Q_str^count on T_b vs T_p: rows=%llu queries=%llu "
+              "latency_us=%u\n",
+              static_cast<unsigned long long>(env.rows),
+              static_cast<unsigned long long>(env.queries), env.latency_us);
+  RunFigure("fig6", env, TableVariant::kBase, TableVariant::kPagedAll,
+            /*with_indexes=*/false, /*query_seed=*/601,
+            [](Table* table, ErpWorkload& w) {
+              // Mix low- and high-cardinality string columns, as the random
+              // workload of §6.2.2 does across the 128-column table.
+              bool high = w.rng().OneIn(3);
+              int col = w.RandomColumnOfType(ValueType::kString, high);
+              if (col < 0) col = w.RandomColumnOfType(ValueType::kString,
+                                                      false);
+              auto r = table->CountByValue(w.columns()[col].name,
+                                           w.RandomValueOf(col));
+              BENCH_CHECK_OK(r);
+            });
+  return 0;
+}

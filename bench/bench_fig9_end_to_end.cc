@@ -1,0 +1,29 @@
+// Fig. 9: everything together — single read of a random full row, the data
+// auditing scenario on aged data. Workload Q_pk^* — SELECT * FROM T WHERE
+// C_pk = value — on T_p^i vs. T_b^i (§6.3).
+//
+// Each query performs a single read of the (paged) unique pk index and, to
+// construct the result set, a single read of every column's paged dictionary
+// and paged data vector. The runtime ratio approaches 1 once the hot pages
+// are resident.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace payg;
+  using namespace payg::bench;
+  BenchEnv env = ReadEnv("fig9");
+  std::printf("# Fig 9 — Q_pk^* on T_b^i vs T_p^i: rows=%llu queries=%llu "
+              "latency_us=%u\n",
+              static_cast<unsigned long long>(env.rows),
+              static_cast<unsigned long long>(env.queries), env.latency_us);
+  RunFigure("fig9", env, TableVariant::kBase, TableVariant::kPagedAll,
+            /*with_indexes=*/true, /*query_seed=*/901,
+            [](Table* table, ErpWorkload& w) {
+              auto r = table->SelectByValue("pk", w.PkOfRow(w.RandomRow()),
+                                            /*select all columns=*/{});
+              BENCH_CHECK_OK(r);
+              if (r->rows.size() != 1) std::abort();
+            });
+  return 0;
+}

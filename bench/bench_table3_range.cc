@@ -1,0 +1,127 @@
+// Table 3: memory saving and average run-time ratio for range queries on the
+// primary key at selectivities {1 row, 0.01%, 0.1%, 1%} — workloads Q*_σpk
+// (SELECT *) and Q^sum_σpk (SELECT SUM(C_num)) on T_b^i vs. T_p^i (§6.3).
+//
+// Protocol per cell, as in the paper: a cold run of the query set right
+// after a restart (all columns unloaded), followed by hot repetitions of
+// exactly the same queries. The table reports the memory footprint
+// reduction of the paged variant and the average hot run-time ratio.
+
+#include "bench/bench_common.h"
+
+namespace payg::bench {
+namespace {
+
+struct CellResult {
+  double mem_reduction_mb = 0;
+  double avg_hot_ratio = 0;
+  double cold_ratio = 0;
+};
+
+enum class Workload { kSelectStar, kSum };
+
+// Runs one (workload, selectivity) cell on one variant; returns
+// {cold_micros, hot_micros_avg, final_footprint}.
+struct VariantCell {
+  double cold_micros = 0;
+  double hot_micros = 0;
+  uint64_t footprint = 0;
+};
+
+VariantCell RunVariantCell(VariantInstance* inst, const ErpConfig& config,
+                           Workload workload, double selectivity,
+                           uint64_t n_queries, uint64_t reps, uint64_t seed,
+                           uint32_t session_us) {
+  // Cold restart: drop everything resident.
+  inst->table->UnloadAll();
+
+  // Pre-generate the query set; every run replays exactly these queries.
+  ErpWorkload w(config, seed);
+  std::vector<std::pair<Value, Value>> ranges;
+  ranges.reserve(n_queries);
+  for (uint64_t q = 0; q < n_queries; ++q) {
+    ranges.push_back(w.RandomPkRange(selectivity));
+  }
+  int sum_col = w.RandomColumnOfType(ValueType::kInt64, false);
+
+  auto run_once = [&]() -> double {
+    Stopwatch timer;
+    for (const auto& [lo, hi] : ranges) {
+      SpinWaitMicros(session_us);  // modeled SQL-stack cost per query
+      if (workload == Workload::kSelectStar) {
+        auto r = inst->table->SelectRange("pk", lo, hi, {});
+        BENCH_CHECK_OK(r);
+      } else {
+        auto r = inst->table->SumRange("pk", lo, hi,
+                                       w.columns()[sum_col].name);
+        BENCH_CHECK_OK(r);
+      }
+    }
+    return timer.ElapsedMicros();
+  };
+
+  VariantCell cell;
+  cell.cold_micros = run_once();
+  double hot_total = 0;
+  for (uint64_t rep = 0; rep < reps; ++rep) hot_total += run_once();
+  cell.hot_micros = hot_total / static_cast<double>(reps);
+  cell.footprint = inst->MemoryFootprint();
+  return cell;
+}
+
+}  // namespace
+}  // namespace payg::bench
+
+int main() {
+  using namespace payg;
+  using namespace payg::bench;
+  BenchEnv env = ReadEnv("table3");
+  const uint64_t n_queries = EnvU64("PAYG_T3_QUERIES", 50);
+  const uint64_t reps = EnvU64("PAYG_T3_REPS", 5);
+  std::printf("# Table 3 — Q*_σpk and Q^sum_σpk on T_b^i vs T_p^i: rows=%llu "
+              "queries/cell=%llu hot_reps=%llu latency_us=%u\n",
+              static_cast<unsigned long long>(env.rows),
+              static_cast<unsigned long long>(n_queries),
+              static_cast<unsigned long long>(reps), env.latency_us);
+
+  VariantInstance base =
+      BuildVariant(env, "t3_base", TableVariant::kBase, /*with_indexes=*/true);
+  VariantInstance paged = BuildVariant(env, "t3_paged", TableVariant::kPagedAll,
+                                       /*with_indexes=*/true);
+  ErpConfig base_cfg = MakeConfig(env, TableVariant::kBase, true);
+  ErpConfig paged_cfg = MakeConfig(env, TableVariant::kPagedAll, true);
+
+  const double one_row = 1.0 / static_cast<double>(env.rows);
+  struct Sel {
+    const char* label;
+    double value;
+  };
+  const Sel selectivities[] = {
+      {"1row", one_row}, {"0.01%", 0.0001}, {"0.1%", 0.001}, {"1%", 0.01}};
+  const struct {
+    Workload w;
+    const char* label;
+  } workloads[] = {{Workload::kSelectStar, "select_star"},
+                   {Workload::kSum, "sum"}};
+
+  std::printf("table3: rows (workload, selectivity, mem_reduction_mb, "
+              "cold_ratio, avg_hot_ratio)\n");
+  for (const auto& wl : workloads) {
+    for (const auto& sel : selectivities) {
+      uint64_t seed = 3000 + static_cast<uint64_t>(sel.value * 1e6) +
+                      (wl.w == Workload::kSum ? 7 : 0);
+      VariantCell b = RunVariantCell(&base, base_cfg, wl.w, sel.value,
+                                     n_queries, reps, seed, env.session_us);
+      VariantCell p = RunVariantCell(&paged, paged_cfg, wl.w, sel.value,
+                                     n_queries, reps, seed, env.session_us);
+      double reduction_mb =
+          (static_cast<double>(b.footprint) - static_cast<double>(p.footprint)) /
+          (1024.0 * 1024.0);
+      std::printf("table3,%s,%s,%.2f,%.3f,%.3f\n", wl.label, sel.label,
+                  reduction_mb, p.cold_micros / b.cold_micros,
+                  p.hot_micros / b.hot_micros);
+    }
+  }
+  std::filesystem::remove_all(env.dir);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Quickstart: create a store, define a table mixing fully resident and page
+// loadable columns, insert rows, run the delta merge, and query.
+//
+//   ./quickstart [directory]
+
+#include <cstdio>
+
+#include "core/column_store.h"
+
+using namespace payg;
+
+int main(int argc, char** argv) {
+  ColumnStoreOptions options;
+  options.directory = argc > 1 ? argv[1] : "/tmp/payg_quickstart";
+
+  auto store = ColumnStore::Open(options);
+  if (!store.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+
+  // DDL: the loading behaviour is a per-column property chosen at creation
+  // time. "note" is PAGE LOADABLE — its dictionary, data vector and pages
+  // load on demand; the others are classic fully resident columns.
+  TableSchema schema;
+  schema.name = "orders";
+  schema.columns.push_back({.name = "id",
+                            .type = ValueType::kString,
+                            .page_loadable = false,
+                            .with_index = true,
+                            .primary_key = true});
+  schema.columns.push_back({.name = "amount", .type = ValueType::kInt64});
+  schema.columns.push_back({.name = "note",
+                            .type = ValueType::kString,
+                            .page_loadable = true});
+
+  auto table = (*store)->CreateTable(schema);
+  if (!table.ok()) {
+    std::fprintf(stderr, "create table failed: %s\n",
+                 table.status().ToString().c_str());
+    return 1;
+  }
+
+  // Inserts append to the write-optimized delta fragment.
+  for (int i = 0; i < 10000; ++i) {
+    char id[32];
+    std::snprintf(id, sizeof(id), "ORD%08d", i);
+    std::string note = "order number " + std::to_string(i) +
+                       (i % 3 == 0 ? " (priority)" : "");
+    auto s = (*table)->Insert(
+        {Value(std::string(id)), Value(int64_t{i * 10}), Value(note)});
+    if (!s.ok()) {
+      std::fprintf(stderr, "insert failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("inserted %llu rows into the delta fragment\n",
+              static_cast<unsigned long long>((*table)->row_count()));
+
+  // The delta merge builds the read-optimized main fragments: sorted
+  // order-preserving dictionaries, n-bit packed data vectors, inverted
+  // indexes — paged or resident per the DDL above.
+  auto s = (*table)->MergeAll();
+  if (!s.ok()) {
+    std::fprintf(stderr, "merge failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("delta merge done: %llu rows in the main fragment\n",
+              static_cast<unsigned long long>(
+                  (*table)->hot()->main_row_count()));
+
+  // Point query by primary key (index lookup + late materialization).
+  auto row = (*table)->SelectByValue("id", Value(std::string("ORD00000042")),
+                                     {"amount", "note"});
+  if (!row.ok() || row->rows.size() != 1) {
+    std::fprintf(stderr, "query failed\n");
+    return 1;
+  }
+  std::printf("ORD00000042 -> amount=%lld note=\"%s\"\n",
+              static_cast<long long>(row->rows[0][0].AsInt64()),
+              row->rows[0][1].AsString().c_str());
+
+  // Aggregate over a key range.
+  auto sum = (*table)->SumRange("id", Value(std::string("ORD00000100")),
+                                Value(std::string("ORD00000199")), "amount");
+  if (!sum.ok()) return 1;
+  std::printf("SUM(amount) for ORD00000100..199 = %.0f\n", *sum);
+
+  std::printf("memory footprint: %.2f MB (paged columns load only the pages "
+              "these queries touched)\n",
+              static_cast<double>((*store)->MemoryFootprint()) / 1048576.0);
+  return 0;
+}

@@ -1,0 +1,291 @@
+#include "buffer/resource_manager.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace payg {
+
+ResourceManager::ResourceManager() {
+  sweeper_ = std::thread([this] { BackgroundSweeper(); });
+}
+
+ResourceManager::~ResourceManager() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  sweeper_cv_.notify_all();
+  sweeper_.join();
+}
+
+ResourceId ResourceManager::Register(std::string label, uint64_t bytes,
+                                     Disposition disposition, PoolId pool,
+                                     EvictCallback on_evict) {
+  return RegisterInternal(std::move(label), bytes, disposition, pool,
+                          std::move(on_evict), /*initial_pins=*/0);
+}
+
+ResourceId ResourceManager::RegisterPinned(std::string label, uint64_t bytes,
+                                           Disposition disposition,
+                                           PoolId pool,
+                                           EvictCallback on_evict) {
+  return RegisterInternal(std::move(label), bytes, disposition, pool,
+                          std::move(on_evict), /*initial_pins=*/1);
+}
+
+ResourceId ResourceManager::RegisterInternal(std::string label, uint64_t bytes,
+                                             Disposition disposition,
+                                             PoolId pool,
+                                             EvictCallback on_evict,
+                                             uint32_t initial_pins) {
+  ResourceId id = next_id_.fetch_add(1);
+  std::vector<EvictCallback> callbacks;
+  bool wake_sweeper = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry e;
+    e.id = id;
+    e.label = std::move(label);
+    e.bytes = bytes;
+    e.disposition = disposition;
+    e.pool = pool;
+    e.last_touch = clock_.fetch_add(1);
+    e.pin_count = initial_pins;
+    e.on_evict = std::move(on_evict);
+    auto pool_idx = static_cast<int>(pool);
+    lru_[pool_idx].push_back(id);
+    e.lru_it = std::prev(lru_[pool_idx].end());
+    pool_bytes_[pool_idx] += bytes;
+    total_bytes_ += bytes;
+    entries_.emplace(id, std::move(e));
+    counters_.resource_count = entries_.size();
+
+    ReactiveEvictLocked(&callbacks);
+
+    const Limits& lim = pool_limits_[pool_idx];
+    if (lim.upper != 0 && pool_bytes_[pool_idx] > lim.upper) {
+      wake_sweeper = true;
+    }
+  }
+  for (auto& cb : callbacks) {
+    if (cb) cb();
+  }
+  // The proactive sweep is asynchronous by design: loading new pages is
+  // never blocked on it (§5), so the pool may transiently exceed the upper
+  // limit.
+  if (wake_sweeper) sweeper_cv_.notify_one();
+  return id;
+}
+
+bool ResourceManager::Unregister(ResourceId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  RemoveEntryLocked(id, /*count_as_eviction=*/false, /*proactive=*/false);
+  return true;
+}
+
+void ResourceManager::Touch(ResourceId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  Entry& e = it->second;
+  e.last_touch = clock_.fetch_add(1);
+  auto pool_idx = static_cast<int>(e.pool);
+  lru_[pool_idx].erase(e.lru_it);
+  lru_[pool_idx].push_back(id);
+  e.lru_it = std::prev(lru_[pool_idx].end());
+}
+
+bool ResourceManager::Pin(ResourceId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  Entry& e = it->second;
+  ++e.pin_count;
+  e.last_touch = clock_.fetch_add(1);
+  auto pool_idx = static_cast<int>(e.pool);
+  lru_[pool_idx].erase(e.lru_it);
+  lru_[pool_idx].push_back(id);
+  e.lru_it = std::prev(lru_[pool_idx].end());
+  return true;
+}
+
+void ResourceManager::Unpin(ResourceId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  PAYG_ASSERT_MSG(it->second.pin_count > 0, "unpin without pin");
+  --it->second.pin_count;
+}
+
+void ResourceManager::SetGlobalBudget(uint64_t bytes) {
+  std::vector<EvictCallback> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    global_budget_ = bytes;
+    ReactiveEvictLocked(&callbacks);
+  }
+  for (auto& cb : callbacks) {
+    if (cb) cb();
+  }
+}
+
+void ResourceManager::SetPoolLimits(PoolId pool, Limits limits) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pool_limits_[static_cast<int>(pool)] = limits;
+  }
+  sweeper_cv_.notify_one();
+}
+
+void ResourceManager::SweepNow() {
+  std::vector<EvictCallback> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int p = 0; p < kNumPools; ++p) {
+      const Limits& lim = pool_limits_[p];
+      if (lim.upper != 0 && pool_bytes_[p] > lim.upper) {
+        CollectPagedVictimsLocked(static_cast<PoolId>(p), lim.lower,
+                                  &callbacks);
+      }
+    }
+  }
+  for (auto& cb : callbacks) {
+    if (cb) cb();
+  }
+}
+
+ResourceManagerStats ResourceManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ResourceManagerStats s = counters_;
+  s.total_bytes = total_bytes_;
+  for (int p = 0; p < kNumPools; ++p) s.pool_bytes[p] = pool_bytes_[p];
+  s.resource_count = entries_.size();
+  return s;
+}
+
+uint64_t ResourceManager::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+uint64_t ResourceManager::pool_bytes(PoolId pool) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_bytes_[static_cast<int>(pool)];
+}
+
+void ResourceManager::RemoveEntryLocked(ResourceId id, bool count_as_eviction,
+                                        bool proactive) {
+  auto it = entries_.find(id);
+  PAYG_ASSERT(it != entries_.end());
+  Entry& e = it->second;
+  auto pool_idx = static_cast<int>(e.pool);
+  lru_[pool_idx].erase(e.lru_it);
+  pool_bytes_[pool_idx] -= e.bytes;
+  total_bytes_ -= e.bytes;
+  if (count_as_eviction) {
+    counters_.evicted_bytes += e.bytes;
+    if (proactive) {
+      ++counters_.proactive_evictions;
+    } else {
+      ++counters_.reactive_evictions;
+    }
+  }
+  entries_.erase(it);
+  counters_.resource_count = entries_.size();
+}
+
+void ResourceManager::CollectPagedVictimsLocked(
+    PoolId pool, uint64_t target, std::vector<EvictCallback>* callbacks) {
+  auto pool_idx = static_cast<int>(pool);
+  // Plain LRU front-to-back; disposition weight deliberately plays no role
+  // for paged-attribute resources (§5).
+  auto it = lru_[pool_idx].begin();
+  while (it != lru_[pool_idx].end() && pool_bytes_[pool_idx] > target) {
+    ResourceId id = *it;
+    ++it;  // advance before possibly erasing
+    Entry& e = entries_.at(id);
+    if (e.pin_count > 0 || e.disposition == Disposition::kNonSwappable) {
+      continue;
+    }
+    callbacks->push_back(std::move(e.on_evict));
+    RemoveEntryLocked(id, /*count_as_eviction=*/true, /*proactive=*/true);
+  }
+}
+
+void ResourceManager::CollectWeightedVictimsLocked(
+    uint64_t target, std::vector<EvictCallback>* callbacks) {
+  // Rank unpinned, swappable general-pool resources by descending t/w.
+  struct Candidate {
+    double score;
+    ResourceId id;
+  };
+  const uint64_t now = clock_.load();
+  std::vector<Candidate> candidates;
+  for (ResourceId id : lru_[static_cast<int>(PoolId::kGeneral)]) {
+    const Entry& e = entries_.at(id);
+    if (e.pin_count > 0 || e.disposition == Disposition::kNonSwappable) {
+      continue;
+    }
+    double t = static_cast<double>(now - e.last_touch);
+    candidates.push_back({t / DispositionWeight(e.disposition), id});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score > b.score;
+            });
+  for (const Candidate& c : candidates) {
+    if (total_bytes_ <= target) break;
+    Entry& e = entries_.at(c.id);
+    callbacks->push_back(std::move(e.on_evict));
+    RemoveEntryLocked(c.id, /*count_as_eviction=*/true, /*proactive=*/false);
+  }
+}
+
+void ResourceManager::ReactiveEvictLocked(
+    std::vector<EvictCallback>* callbacks) {
+  if (global_budget_ == 0 || total_bytes_ <= global_budget_) return;
+  // Low-memory situation: paged-attribute resources are unloaded first, down
+  // to each pool's lower limit, before touching anything else (§5).
+  for (int p = 0; p < kNumPools; ++p) {
+    if (total_bytes_ <= global_budget_) break;
+    if (p == static_cast<int>(PoolId::kGeneral)) continue;
+    size_t before = callbacks->size();
+    CollectPagedVictimsLocked(static_cast<PoolId>(p), pool_limits_[p].lower,
+                              callbacks);
+    // These count as reactive, not proactive.
+    uint64_t n = callbacks->size() - before;
+    counters_.proactive_evictions -= n;
+    counters_.reactive_evictions += n;
+  }
+  if (total_bytes_ > global_budget_) {
+    CollectWeightedVictimsLocked(global_budget_, callbacks);
+  }
+}
+
+void ResourceManager::BackgroundSweeper() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutting_down_) {
+    sweeper_cv_.wait_for(lock, std::chrono::milliseconds(20));
+    if (shutting_down_) break;
+    std::vector<EvictCallback> callbacks;
+    for (int p = 0; p < kNumPools; ++p) {
+      const Limits& lim = pool_limits_[p];
+      if (lim.upper != 0 && pool_bytes_[p] > lim.upper) {
+        CollectPagedVictimsLocked(static_cast<PoolId>(p), lim.lower,
+                                  &callbacks);
+      }
+    }
+    if (!callbacks.empty()) {
+      lock.unlock();
+      for (auto& cb : callbacks) {
+        if (cb) cb();
+      }
+      lock.lock();
+    }
+  }
+}
+
+}  // namespace payg

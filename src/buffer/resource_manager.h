@@ -1,0 +1,207 @@
+#ifndef PAYG_BUFFER_RESOURCE_MANAGER_H_
+#define PAYG_BUFFER_RESOURCE_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "buffer/disposition.h"
+#include "common/status.h"
+
+namespace payg {
+
+using ResourceId = uint64_t;
+inline constexpr ResourceId kInvalidResourceId = 0;
+
+// Called when the manager evicts a resource. Runs *outside* the manager's
+// lock; by the time it runs the registration is already gone, so the owner
+// must only release its own memory and must not call back into the manager
+// for this id.
+using EvictCallback = std::function<void()>;
+
+// Snapshot of accounting counters.
+struct ResourceManagerStats {
+  uint64_t total_bytes = 0;
+  uint64_t pool_bytes[kNumPools] = {0, 0, 0};
+  uint64_t resource_count = 0;
+  uint64_t reactive_evictions = 0;
+  uint64_t proactive_evictions = 0;
+  uint64_t evicted_bytes = 0;
+};
+
+// SAP HANA-style memory manager (§5): tracks *logical resources* — a fully
+// resident column registers as one resource, each loaded page of a page
+// loadable column registers as its own resource with kPagedAttribute
+// disposition.
+//
+// Eviction:
+//  * Reactive: when total tracked bytes exceed the global budget, first
+//    shrink paged-attribute pools down to their lower limits (plain LRU,
+//    weight ignored), then evict general resources in descending t/w order.
+//  * Proactive: a background sweeper shrinks any paged pool that exceeds its
+//    upper limit down to its lower limit, even when plenty of memory is
+//    available. It runs asynchronously and never blocks new loads.
+//
+// Pinned resources (pin_count > 0) and kNonSwappable resources are never
+// evicted.
+class ResourceManager {
+ public:
+  struct Limits {
+    uint64_t lower = 0;  // shrink target
+    uint64_t upper = 0;  // proactive trigger; 0 = unlimited
+  };
+
+  ResourceManager();
+  ~ResourceManager();
+
+  ResourceManager(const ResourceManager&) = delete;
+  ResourceManager& operator=(const ResourceManager&) = delete;
+
+  // Registers a resource and runs reactive eviction if over budget. The
+  // returned id is never kInvalidResourceId.
+  ResourceId Register(std::string label, uint64_t bytes,
+                      Disposition disposition, PoolId pool,
+                      EvictCallback on_evict);
+
+  // Registers a resource that is already pinned once (pin_count starts at
+  // 1), so it can never be evicted between registration and the caller's
+  // first pin. The caller owns one Unpin.
+  ResourceId RegisterPinned(std::string label, uint64_t bytes,
+                            Disposition disposition, PoolId pool,
+                            EvictCallback on_evict);
+
+  // Removes a resource without invoking its eviction callback (the owner is
+  // releasing it voluntarily). Returns false if the id is unknown (already
+  // evicted) — callers use this to detect eviction races.
+  bool Unregister(ResourceId id);
+
+  // Marks the resource recently used. No-op if already evicted.
+  void Touch(ResourceId id);
+
+  // Pins the resource against eviction. Returns false if the resource no
+  // longer exists. Each successful Pin must be matched by Unpin.
+  bool Pin(ResourceId id);
+  void Unpin(ResourceId id);
+
+  // Global memory budget in bytes; 0 = unlimited. Triggers reactive
+  // eviction immediately if the new budget is already exceeded.
+  void SetGlobalBudget(uint64_t bytes);
+
+  // Lower/upper limits of a paged pool (§5). upper == 0 disables the
+  // proactive sweep for that pool.
+  void SetPoolLimits(PoolId pool, Limits limits);
+
+  // Runs one synchronous proactive sweep (tests use this to avoid timing
+  // dependence on the background thread).
+  void SweepNow();
+
+  ResourceManagerStats stats() const;
+  uint64_t total_bytes() const;
+  uint64_t pool_bytes(PoolId pool) const;
+
+ private:
+  struct Entry {
+    ResourceId id = kInvalidResourceId;
+    std::string label;
+    uint64_t bytes = 0;
+    Disposition disposition = Disposition::kTemporary;
+    PoolId pool = PoolId::kGeneral;
+    uint64_t last_touch = 0;
+    uint32_t pin_count = 0;
+    EvictCallback on_evict;
+    std::list<ResourceId>::iterator lru_it;  // position in pool LRU list
+  };
+
+  // Collects victims (under lock) until pool usage <= target, plain LRU.
+  void CollectPagedVictimsLocked(PoolId pool, uint64_t target,
+                                 std::vector<EvictCallback>* callbacks);
+  // Collects general-pool victims by descending t/w until total <= target.
+  void CollectWeightedVictimsLocked(uint64_t target,
+                                    std::vector<EvictCallback>* callbacks);
+  ResourceId RegisterInternal(std::string label, uint64_t bytes,
+                              Disposition disposition, PoolId pool,
+                              EvictCallback on_evict, uint32_t initial_pins);
+  void RemoveEntryLocked(ResourceId id, bool count_as_eviction,
+                         bool proactive);
+  void ReactiveEvictLocked(std::vector<EvictCallback>* callbacks);
+  void BackgroundSweeper();
+
+  mutable std::mutex mu_;
+  std::condition_variable sweeper_cv_;
+  std::unordered_map<ResourceId, Entry> entries_;
+  // Per-pool LRU lists; front = least recently used.
+  std::list<ResourceId> lru_[kNumPools];
+  uint64_t pool_bytes_[kNumPools] = {0, 0, 0};
+  uint64_t total_bytes_ = 0;
+  uint64_t global_budget_ = 0;
+  Limits pool_limits_[kNumPools];
+  ResourceManagerStats counters_;
+  std::atomic<ResourceId> next_id_{1};
+  std::atomic<uint64_t> clock_{1};
+  bool shutting_down_ = false;
+  std::thread sweeper_;
+};
+
+// RAII pin. Obtained via PinnedResource::TryPin; unpins on destruction.
+class PinnedResource {
+ public:
+  PinnedResource() = default;
+
+  static PinnedResource TryPin(ResourceManager* rm, ResourceId id) {
+    PinnedResource p;
+    if (rm != nullptr && rm->Pin(id)) {
+      p.rm_ = rm;
+      p.id_ = id;
+    }
+    return p;
+  }
+
+  // Adopts a pin that already exists (RegisterPinned's initial pin) without
+  // pinning again.
+  static PinnedResource Adopt(ResourceManager* rm, ResourceId id) {
+    PinnedResource p;
+    p.rm_ = rm;
+    p.id_ = id;
+    return p;
+  }
+
+  PinnedResource(PinnedResource&& other) noexcept { *this = std::move(other); }
+  PinnedResource& operator=(PinnedResource&& other) noexcept {
+    Release();
+    rm_ = other.rm_;
+    id_ = other.id_;
+    other.rm_ = nullptr;
+    other.id_ = kInvalidResourceId;
+    return *this;
+  }
+  PinnedResource(const PinnedResource&) = delete;
+  PinnedResource& operator=(const PinnedResource&) = delete;
+
+  ~PinnedResource() { Release(); }
+
+  bool valid() const { return rm_ != nullptr; }
+  ResourceId id() const { return id_; }
+
+  void Release() {
+    if (rm_ != nullptr) {
+      rm_->Unpin(id_);
+      rm_ = nullptr;
+      id_ = kInvalidResourceId;
+    }
+  }
+
+ private:
+  ResourceManager* rm_ = nullptr;
+  ResourceId id_ = kInvalidResourceId;
+};
+
+}  // namespace payg
+
+#endif  // PAYG_BUFFER_RESOURCE_MANAGER_H_

@@ -1,0 +1,47 @@
+#include "columnar/dictionary.h"
+
+#include <algorithm>
+
+namespace payg {
+
+Dictionary Dictionary::FromSorted(ValueType type, std::vector<Value> sorted) {
+  Dictionary d(type);
+#ifndef NDEBUG
+  for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+    PAYG_ASSERT_MSG(sorted[i].Compare(sorted[i + 1]) < 0,
+                    "dictionary input not sorted/unique");
+  }
+#endif
+  d.values_ = std::move(sorted);
+  return d;
+}
+
+std::optional<ValueId> Dictionary::FindValueId(const Value& value) const {
+  auto it = std::lower_bound(
+      values_.begin(), values_.end(), value,
+      [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  if (it == values_.end() || !(*it == value)) return std::nullopt;
+  return static_cast<ValueId>(it - values_.begin());
+}
+
+ValueId Dictionary::LowerBound(const Value& value) const {
+  auto it = std::lower_bound(
+      values_.begin(), values_.end(), value,
+      [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  return static_cast<ValueId>(it - values_.begin());
+}
+
+ValueId Dictionary::UpperBound(const Value& value) const {
+  auto it = std::upper_bound(
+      values_.begin(), values_.end(), value,
+      [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  return static_cast<ValueId>(it - values_.begin());
+}
+
+uint64_t Dictionary::MemoryBytes() const {
+  uint64_t bytes = values_.capacity() * sizeof(Value);
+  for (const Value& v : values_) bytes += v.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace payg

@@ -1,0 +1,59 @@
+#ifndef PAYG_COLUMNAR_DICTIONARY_H_
+#define PAYG_COLUMNAR_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "columnar/value.h"
+#include "common/macros.h"
+#include "encoding/types.h"
+
+namespace payg {
+
+// Order-preserving in-memory main dictionary (§2): values are sorted and
+// value identifiers are assigned in the same order, so vid comparison is
+// value comparison. This is the dictionary of a fully loadable (default)
+// column, and the staging form the paged dictionary builder serializes from.
+class Dictionary {
+ public:
+  Dictionary() : type_(ValueType::kInt64) {}
+  explicit Dictionary(ValueType type) : type_(type) {}
+
+  // Builds from values that must already be sorted ascending and unique.
+  static Dictionary FromSorted(ValueType type, std::vector<Value> sorted);
+
+  ValueType type() const { return type_; }
+  uint64_t size() const { return values_.size(); }
+
+  // The value encoded by `vid`.
+  const Value& GetValue(ValueId vid) const {
+    PAYG_ASSERT(vid < values_.size());
+    return values_[vid];
+  }
+
+  // The vid encoding `value`, if present.
+  std::optional<ValueId> FindValueId(const Value& value) const;
+
+  // Index of the first dictionary value >= `value` (== size() when all are
+  // smaller). Range predicates on the data vector are translated to vid
+  // ranges through this.
+  ValueId LowerBound(const Value& value) const;
+
+  // Index of the first dictionary value > `value`.
+  ValueId UpperBound(const Value& value) const;
+
+  // Approximate heap footprint for buffer-manager accounting.
+  uint64_t MemoryBytes() const;
+
+  const std::vector<Value>& values() const { return values_; }
+
+ private:
+  ValueType type_;
+  std::vector<Value> values_;
+};
+
+}  // namespace payg
+
+#endif  // PAYG_COLUMNAR_DICTIONARY_H_

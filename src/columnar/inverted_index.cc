@@ -1,0 +1,57 @@
+#include "columnar/inverted_index.h"
+
+namespace payg {
+
+InvertedIndex InvertedIndex::FromParts(uint64_t dict_size, bool unique,
+                                       std::vector<RowPos> postinglist,
+                                       std::vector<uint64_t> directory) {
+  PAYG_ASSERT(unique == directory.empty());
+  PAYG_ASSERT(unique || directory.size() == dict_size + 1);
+  InvertedIndex idx;
+  idx.dict_size_ = dict_size;
+  idx.unique_ = unique;
+  idx.postinglist_ = std::move(postinglist);
+  idx.directory_ = std::move(directory);
+  return idx;
+}
+
+InvertedIndex InvertedIndex::Build(const std::vector<ValueId>& vids,
+                                   uint64_t dict_size) {
+  InvertedIndex idx;
+  idx.dict_size_ = dict_size;
+
+  // Counting pass: occurrences per vid.
+  std::vector<uint64_t> counts(dict_size + 1, 0);
+  for (ValueId v : vids) {
+    PAYG_ASSERT(v < dict_size);
+    ++counts[v];
+  }
+  idx.unique_ = vids.size() == dict_size;
+  if (idx.unique_) {
+    for (uint64_t c : counts) {
+      if (c > 1) {
+        idx.unique_ = false;
+        break;
+      }
+    }
+  }
+
+  // Prefix sums become the directory; a scatter pass fills the postinglist.
+  // Row positions come out ascending within each vid because the input is
+  // scanned in row order.
+  std::vector<uint64_t> offsets(dict_size + 1, 0);
+  for (uint64_t v = 0; v < dict_size; ++v) {
+    offsets[v + 1] = offsets[v] + counts[v];
+  }
+  idx.postinglist_.resize(vids.size());
+  std::vector<uint64_t> cursor = offsets;
+  for (uint64_t r = 0; r < vids.size(); ++r) {
+    idx.postinglist_[cursor[vids[r]]++] = static_cast<RowPos>(r);
+  }
+  if (!idx.unique_) {
+    idx.directory_ = std::move(offsets);
+  }
+  return idx;
+}
+
+}  // namespace payg

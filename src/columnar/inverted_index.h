@@ -1,0 +1,63 @@
+#ifndef PAYG_COLUMNAR_INVERTED_INDEX_H_
+#define PAYG_COLUMNAR_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "encoding/types.h"
+
+namespace payg {
+
+// Fully resident inverted index of a dictionary-encoded data vector (§3.3):
+// the postinglist is the data vector's row positions reordered by vid; the
+// directory holds, per vid, the offset of its first posting. For unique
+// columns the directory is an identity vector and is not stored.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  // Builds from the (unpacked) vid per row. `dict_size` is the number of
+  // distinct vids. Detects uniqueness and drops the directory when every vid
+  // occurs exactly once.
+  static InvertedIndex Build(const std::vector<ValueId>& vids,
+                             uint64_t dict_size);
+
+  // Adopts persisted parts (deserialization path). `directory` must be
+  // empty iff unique.
+  static InvertedIndex FromParts(uint64_t dict_size, bool unique,
+                                 std::vector<RowPos> postinglist,
+                                 std::vector<uint64_t> directory);
+
+  // All row positions whose value identifier is `vid`, ordered ascending.
+  std::span<const RowPos> Lookup(ValueId vid) const {
+    PAYG_ASSERT(vid < dict_size_);
+    if (unique_) {
+      return {&postinglist_[vid], 1};
+    }
+    uint64_t begin = directory_[vid];
+    uint64_t end = directory_[vid + 1];
+    return {postinglist_.data() + begin, end - begin};
+  }
+
+  uint64_t dict_size() const { return dict_size_; }
+  bool unique() const { return unique_; }
+  const std::vector<RowPos>& postinglist() const { return postinglist_; }
+  const std::vector<uint64_t>& directory() const { return directory_; }
+
+  uint64_t MemoryBytes() const {
+    return postinglist_.capacity() * sizeof(RowPos) +
+           directory_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  uint64_t dict_size_ = 0;
+  bool unique_ = false;
+  std::vector<RowPos> postinglist_;
+  std::vector<uint64_t> directory_;  // size dict_size+1 when !unique_
+};
+
+}  // namespace payg
+
+#endif  // PAYG_COLUMNAR_INVERTED_INDEX_H_

@@ -1,0 +1,386 @@
+#include "columnar/resident_fragment.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "storage/byte_stream.h"
+
+namespace payg {
+
+namespace {
+
+// Serialization layout of the ".full" chain:
+//   meta:  u8 type, u8 has_index, u32 bits, u64 row_count, u64 dict_size
+//   dict:  dict_size values (i64 / double raw, strings length-prefixed)
+//   data:  u64 word_count, words
+//   index: u8 unique, u64 postings, postings × u32,
+//          [if !unique] u64 dirsize, dirsize × u64
+std::string ChainName(const std::string& name) { return name + ".full"; }
+
+}  // namespace
+
+// Reader over a loaded fragment; holds a pin so the column cannot be
+// unloaded while a query is running.
+class ResidentReader : public FragmentReader {
+ public:
+  ResidentReader(FullyResidentFragment* frag, PinnedResource pin)
+      : frag_(frag), pin_(std::move(pin)) {}
+
+  Result<ValueId> GetVid(RowPos rpos) override {
+    if (rpos >= frag_->row_count_) return Status::OutOfRange("row position");
+    if (sparse()) return frag_->sparse_.Get(rpos);
+    return static_cast<ValueId>(frag_->data_.Get(rpos));
+  }
+
+  Status MGetVids(RowPos from, RowPos to, std::vector<ValueId>* out) override {
+    if (from > to || to > frag_->row_count_) {
+      return Status::OutOfRange("row range");
+    }
+    size_t old = out->size();
+    out->resize(old + (to - from));
+    if (sparse()) {
+      frag_->sparse_.MGet(from, to, out->data() + old);
+    } else {
+      frag_->data_.MGet(from, to, out->data() + old);
+    }
+    return Status::OK();
+  }
+
+  Status SearchVidRange(RowPos from, RowPos to, ValueId lo, ValueId hi,
+                        std::vector<RowPos>* out) override {
+    if (from > to || to > frag_->row_count_) {
+      return Status::OutOfRange("row range");
+    }
+    if (sparse()) {
+      frag_->sparse_.SearchRange(from, to, lo, hi, from, out);
+    } else {
+      PackedSearchRange(frag_->data_.words(), frag_->data_.bits(), from, to,
+                        lo, hi, from, out);
+    }
+    return Status::OK();
+  }
+
+  Status SearchVidSet(RowPos from, RowPos to,
+                      const std::vector<ValueId>& sorted_vids,
+                      std::vector<RowPos>* out) override {
+    if (from > to || to > frag_->row_count_) {
+      return Status::OutOfRange("row range");
+    }
+    if (sparse()) {
+      frag_->sparse_.SearchIn(from, to, sorted_vids, from, out);
+    } else {
+      PackedSearchIn(frag_->data_.words(), frag_->data_.bits(), from, to,
+                     sorted_vids, from, out);
+    }
+    return Status::OK();
+  }
+
+  Status FilterRows(const std::vector<RowPos>& rows, ValueId lo, ValueId hi,
+                    std::vector<RowPos>* out) override {
+    for (RowPos r : rows) {
+      if (r >= frag_->row_count_) return Status::OutOfRange("row position");
+      uint64_t v = sparse() ? frag_->sparse_.Get(r) : frag_->data_.Get(r);
+      if (v - lo <= static_cast<uint64_t>(hi) - lo) out->push_back(r);
+    }
+    return Status::OK();
+  }
+
+  Status FindRows(ValueId vid, std::vector<RowPos>* out) override {
+    if (vid >= frag_->dict_size_) return Status::OutOfRange("value id");
+    if (frag_->has_index_) {
+      auto span = frag_->index_.Lookup(vid);
+      out->insert(out->end(), span.begin(), span.end());
+      return Status::OK();
+    }
+    if (sparse()) {
+      frag_->sparse_.SearchEq(0, frag_->row_count_, vid, 0, out);
+    } else {
+      PackedSearchEq(frag_->data_.words(), frag_->data_.bits(), 0,
+                     frag_->row_count_, vid, 0, out);
+    }
+    return Status::OK();
+  }
+
+  Result<Value> GetValueForVid(ValueId vid) override {
+    if (vid >= frag_->dict_size_) return Status::OutOfRange("value id");
+    return frag_->dict_.GetValue(vid);
+  }
+
+  Result<ValueId> FindValueId(const Value& value) override {
+    auto v = frag_->dict_.FindValueId(value);
+    return v.has_value() ? *v : kInvalidValueId;
+  }
+
+  Result<ValueId> LowerBoundVid(const Value& value) override {
+    return frag_->dict_.LowerBound(value);
+  }
+
+  Result<ValueId> UpperBoundVid(const Value& value) override {
+    return frag_->dict_.UpperBound(value);
+  }
+
+ private:
+  bool sparse() const {
+    return frag_->codec_ == FullyResidentFragment::Codec::kSparse;
+  }
+
+  FullyResidentFragment* frag_;
+  PinnedResource pin_;
+};
+
+Result<std::unique_ptr<FullyResidentFragment>> FullyResidentFragment::Build(
+    StorageManager* storage, ResourceManager* rm, const std::string& name,
+    ValueType type, const std::vector<Value>& sorted_dict_values,
+    const std::vector<ValueId>& vids, bool with_index) {
+  PAYG_ASSIGN_OR_RETURN(
+      auto file, storage->CreateChain(ChainName(name),
+                                      storage->options().page_size));
+
+  uint32_t bits = BitsNeeded(
+      sorted_dict_values.empty() ? 0 : sorted_dict_values.size() - 1);
+  // Pick the data-vector codec: sparse encoding when one vid dominates.
+  const Codec codec = SparseVector::ShouldUse(vids, /*threshold=*/0.6)
+                          ? Codec::kSparse
+                          : Codec::kPacked;
+  ChainByteWriter w(file.get());
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU8(with_index ? 1 : 0);
+  w.PutU8(static_cast<uint8_t>(codec));
+  w.PutU32(bits);
+  w.PutU64(vids.size());
+  w.PutU64(sorted_dict_values.size());
+  for (const Value& v : sorted_dict_values) {
+    switch (type) {
+      case ValueType::kInt64:
+        w.PutI64(v.AsInt64());
+        break;
+      case ValueType::kDouble:
+        w.PutDouble(v.AsDouble());
+        break;
+      case ValueType::kString:
+        w.PutString(v.AsString());
+        break;
+    }
+  }
+  if (codec == Codec::kSparse) {
+    SparseVector sv = SparseVector::Encode(vids);
+    w.PutU32(sv.dominant());
+    w.PutU32(sv.bits());
+    w.PutU64(sv.exception_bitmap().size());
+    w.PutBytes(sv.exception_bitmap().data(),
+               sv.exception_bitmap().size() * sizeof(uint64_t));
+    w.PutU64(sv.exception_count());
+    uint64_t ewords = CeilDiv(sv.exception_count() * sv.bits(), 64) + 2;
+    PAYG_ASSERT(ewords <= sv.exceptions().word_count());
+    w.PutU64(ewords);
+    w.PutBytes(sv.exceptions().words(), ewords * sizeof(uint64_t));
+  } else {
+    PackedVector packed(bits);
+    for (ValueId v : vids) packed.Append(v);
+    // Write exactly the needed words (the in-memory buffer over-allocates
+    // for growth); +2 covers the kernels' overread padding.
+    uint64_t nwords = CeilDiv(vids.size() * bits, 64) + 2;
+    PAYG_ASSERT(nwords <= packed.word_count());
+    w.PutU64(nwords);
+    w.PutBytes(packed.words(), nwords * sizeof(uint64_t));
+  }
+  if (with_index) {
+    InvertedIndex idx = InvertedIndex::Build(vids, sorted_dict_values.size());
+    w.PutU8(idx.unique() ? 1 : 0);
+    w.PutU64(idx.postinglist().size());
+    w.PutBytes(idx.postinglist().data(),
+               idx.postinglist().size() * sizeof(RowPos));
+    if (!idx.unique()) {
+      w.PutU64(idx.directory().size());
+      w.PutBytes(idx.directory().data(),
+                 idx.directory().size() * sizeof(uint64_t));
+    }
+  }
+  PAYG_RETURN_IF_ERROR(w.Finish());
+
+  auto frag = std::unique_ptr<FullyResidentFragment>(
+      new FullyResidentFragment(storage, rm, name));
+  frag->type_ = type;
+  frag->has_index_ = with_index;
+  frag->codec_ = codec;
+  frag->bits_ = bits;
+  frag->row_count_ = vids.size();
+  frag->dict_size_ = sorted_dict_values.size();
+  return frag;
+}
+
+Result<std::unique_ptr<FullyResidentFragment>> FullyResidentFragment::Open(
+    StorageManager* storage, ResourceManager* rm, const std::string& name) {
+  PAYG_ASSIGN_OR_RETURN(
+      auto file,
+      storage->OpenChain(ChainName(name), storage->options().page_size));
+  ChainByteReader r(file.get());
+  auto frag = std::unique_ptr<FullyResidentFragment>(
+      new FullyResidentFragment(storage, rm, name));
+  PAYG_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+  PAYG_ASSIGN_OR_RETURN(uint8_t has_index, r.GetU8());
+  PAYG_ASSIGN_OR_RETURN(uint8_t codec, r.GetU8());
+  PAYG_ASSIGN_OR_RETURN(frag->bits_, r.GetU32());
+  PAYG_ASSIGN_OR_RETURN(frag->row_count_, r.GetU64());
+  PAYG_ASSIGN_OR_RETURN(frag->dict_size_, r.GetU64());
+  frag->type_ = static_cast<ValueType>(type);
+  frag->has_index_ = has_index != 0;
+  frag->codec_ = static_cast<Codec>(codec);
+  return frag;
+}
+
+FullyResidentFragment::~FullyResidentFragment() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (loaded_ && resource_id_ != kInvalidResourceId) {
+    rm_->Unregister(resource_id_);
+  }
+}
+
+Result<ResourceId> FullyResidentFragment::EnsureLoaded() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (loaded_) return resource_id_;
+
+  Stopwatch timer;
+  PAYG_ASSIGN_OR_RETURN(
+      auto file,
+      storage_->OpenChain(ChainName(name_), storage_->options().page_size));
+  ChainByteReader r(file.get());
+  PAYG_ASSIGN_OR_RETURN(uint8_t type_u8, r.GetU8());
+  PAYG_ASSIGN_OR_RETURN(uint8_t has_index, r.GetU8());
+  PAYG_ASSIGN_OR_RETURN(uint8_t codec_u8, r.GetU8());
+  uint32_t bits;
+  PAYG_ASSIGN_OR_RETURN(bits, r.GetU32());
+  uint64_t rows, dict_size;
+  PAYG_ASSIGN_OR_RETURN(rows, r.GetU64());
+  PAYG_ASSIGN_OR_RETURN(dict_size, r.GetU64());
+  ValueType type = static_cast<ValueType>(type_u8);
+  PAYG_ASSERT(type == type_ && rows == row_count_ && dict_size == dict_size_ &&
+              bits == bits_ && (has_index != 0) == has_index_ &&
+              static_cast<Codec>(codec_u8) == codec_);
+
+  std::vector<Value> values;
+  values.reserve(dict_size);
+  for (uint64_t i = 0; i < dict_size; ++i) {
+    switch (type) {
+      case ValueType::kInt64: {
+        PAYG_ASSIGN_OR_RETURN(int64_t v, r.GetI64());
+        values.emplace_back(v);
+        break;
+      }
+      case ValueType::kDouble: {
+        PAYG_ASSIGN_OR_RETURN(double v, r.GetDouble());
+        values.emplace_back(v);
+        break;
+      }
+      case ValueType::kString: {
+        PAYG_ASSIGN_OR_RETURN(std::string v, r.GetString());
+        values.emplace_back(std::move(v));
+        break;
+      }
+    }
+  }
+  dict_ = Dictionary::FromSorted(type, std::move(values));
+
+  if (codec_ == Codec::kSparse) {
+    PAYG_ASSIGN_OR_RETURN(uint32_t dominant, r.GetU32());
+    PAYG_ASSIGN_OR_RETURN(uint32_t ebits, r.GetU32());
+    uint64_t bitmap_words;
+    PAYG_ASSIGN_OR_RETURN(bitmap_words, r.GetU64());
+    std::vector<uint64_t> bitmap(bitmap_words);
+    PAYG_RETURN_IF_ERROR(
+        r.GetBytes(bitmap.data(), bitmap_words * sizeof(uint64_t)));
+    uint64_t exception_count, ewords;
+    PAYG_ASSIGN_OR_RETURN(exception_count, r.GetU64());
+    PAYG_ASSIGN_OR_RETURN(ewords, r.GetU64());
+    std::vector<uint64_t> ex_words(ewords);
+    PAYG_RETURN_IF_ERROR(
+        r.GetBytes(ex_words.data(), ewords * sizeof(uint64_t)));
+    sparse_ = SparseVector::FromParts(
+        row_count_, dominant, ebits, std::move(bitmap),
+        PackedVector::FromWords(ebits, exception_count,
+                                std::move(ex_words)));
+  } else {
+    uint64_t word_count;
+    PAYG_ASSIGN_OR_RETURN(word_count, r.GetU64());
+    std::vector<uint64_t> words(word_count);
+    PAYG_RETURN_IF_ERROR(
+        r.GetBytes(words.data(), word_count * sizeof(uint64_t)));
+    data_ = PackedVector::FromWords(bits_, row_count_, std::move(words));
+  }
+
+  if (has_index_) {
+    PAYG_ASSIGN_OR_RETURN(uint8_t unique, r.GetU8());
+    uint64_t postings;
+    PAYG_ASSIGN_OR_RETURN(postings, r.GetU64());
+    std::vector<RowPos> postinglist(postings);
+    PAYG_RETURN_IF_ERROR(
+        r.GetBytes(postinglist.data(), postings * sizeof(RowPos)));
+    std::vector<uint64_t> directory;
+    if (unique == 0) {
+      uint64_t dirsize;
+      PAYG_ASSIGN_OR_RETURN(dirsize, r.GetU64());
+      directory.resize(dirsize);
+      PAYG_RETURN_IF_ERROR(
+          r.GetBytes(directory.data(), dirsize * sizeof(uint64_t)));
+    }
+    index_ = InvertedIndex::FromParts(dict_size_, unique != 0,
+                                      std::move(postinglist),
+                                      std::move(directory));
+  }
+
+  resident_bytes_ = dict_.MemoryBytes() +
+                    (codec_ == Codec::kSparse ? sparse_.MemoryBytes()
+                                              : data_.MemoryBytes()) +
+                    (has_index_ ? index_.MemoryBytes() : 0);
+  last_load_nanos_ = timer.ElapsedNanos();
+  ++load_count_;
+  loaded_ = true;
+  resource_id_ = rm_->Register(
+      name_, resident_bytes_, Disposition::kMidTerm, PoolId::kGeneral,
+      [this] {
+        std::lock_guard<std::mutex> lk(mu_);
+        UnloadLocked();
+      });
+  return resource_id_;
+}
+
+void FullyResidentFragment::UnloadLocked() {
+  dict_ = Dictionary(type_);
+  data_ = PackedVector(bits_);
+  sparse_ = SparseVector();
+  index_ = InvertedIndex();
+  loaded_ = false;
+  resident_bytes_ = 0;
+  resource_id_ = kInvalidResourceId;
+}
+
+void FullyResidentFragment::Unload() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!loaded_) return;
+  rm_->Unregister(resource_id_);
+  UnloadLocked();
+}
+
+uint64_t FullyResidentFragment::ResidentBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return loaded_ ? resident_bytes_ : 0;
+}
+
+Result<std::unique_ptr<FragmentReader>> FullyResidentFragment::NewReader() {
+  PAYG_ASSIGN_OR_RETURN(ResourceId id, EnsureLoaded());
+  PinnedResource pin = PinnedResource::TryPin(rm_, id);
+  if (!pin.valid()) {
+    // Evicted between load and pin (possible under heavy pressure): retry
+    // once; a second failure indicates the budget cannot hold this column.
+    PAYG_ASSIGN_OR_RETURN(id, EnsureLoaded());
+    pin = PinnedResource::TryPin(rm_, id);
+    if (!pin.valid()) {
+      return Status::ResourceExhausted("column " + name_ +
+                                       " cannot stay resident under budget");
+    }
+  }
+  return std::unique_ptr<FragmentReader>(
+      new ResidentReader(this, std::move(pin)));
+}
+
+}  // namespace payg

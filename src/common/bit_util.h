@@ -1,0 +1,33 @@
+#ifndef PAYG_COMMON_BIT_UTIL_H_
+#define PAYG_COMMON_BIT_UTIL_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace payg {
+
+// The number of bits needed to represent `value` with uniform n-bit packing.
+// By convention 0 still needs 1 bit so that an all-zero vector remains
+// addressable as a packed vector.
+inline uint32_t BitsNeeded(uint64_t value) {
+  return value == 0 ? 1u : static_cast<uint32_t>(std::bit_width(value));
+}
+
+// Round `v` up to the next multiple of `align` (align must be a power of 2).
+inline uint64_t AlignUp(uint64_t v, uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+inline bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// Ceiling division for unsigned integers.
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+// A mask with the lowest `bits` bits set; bits may be 0..64.
+inline uint64_t LowMask(uint32_t bits) {
+  return bits >= 64 ? ~uint64_t{0} : ((uint64_t{1} << bits) - 1);
+}
+
+}  // namespace payg
+
+#endif  // PAYG_COMMON_BIT_UTIL_H_

@@ -1,0 +1,34 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace payg {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected CRC-32C polynomial
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ p[i]) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace payg

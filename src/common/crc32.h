@@ -1,0 +1,16 @@
+#ifndef PAYG_COMMON_CRC32_H_
+#define PAYG_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace payg {
+
+// CRC-32C (Castagnoli) over a byte buffer; used for page checksums.
+// Software table-driven implementation — pages are checksummed once per
+// write/read, not on the scan hot path.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace payg
+
+#endif  // PAYG_COMMON_CRC32_H_

@@ -1,0 +1,48 @@
+#ifndef PAYG_COMMON_MACROS_H_
+#define PAYG_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant check that is active in all build types. Database code must not
+// silently continue past a broken invariant: corruption would propagate into
+// persisted pages.
+#define PAYG_ASSERT(cond)                                                     \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "PAYG_ASSERT failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                       \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define PAYG_ASSERT_MSG(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "PAYG_ASSERT failed: %s (%s) at %s:%d\n", #cond,   \
+                   (msg), __FILE__, __LINE__);                                \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+// Propagate a non-OK payg::Status to the caller.
+#define PAYG_RETURN_IF_ERROR(expr)                                            \
+  do {                                                                        \
+    ::payg::Status _payg_status = (expr);                                     \
+    if (!_payg_status.ok()) return _payg_status;                              \
+  } while (0)
+
+// Evaluate an expression yielding Result<T>; on error return its status,
+// otherwise bind the value to `lhs`.
+#define PAYG_ASSIGN_OR_RETURN(lhs, expr)                                      \
+  PAYG_ASSIGN_OR_RETURN_IMPL(PAYG_CONCAT(_payg_result_, __LINE__), lhs, expr)
+
+#define PAYG_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)                            \
+  auto tmp = (expr);                                                          \
+  if (!tmp.ok()) return tmp.status();                                         \
+  lhs = std::move(tmp).value()
+
+#define PAYG_CONCAT_INNER(a, b) a##b
+#define PAYG_CONCAT(a, b) PAYG_CONCAT_INNER(a, b)
+
+#endif  // PAYG_COMMON_MACROS_H_

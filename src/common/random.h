@@ -1,0 +1,64 @@
+#ifndef PAYG_COMMON_RANDOM_H_
+#define PAYG_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace payg {
+
+// xorshift128+ deterministic PRNG. Benchmarks and the data generator need a
+// fast, reproducible source that is identical across platforms, which
+// std::mt19937 distributions are not (distribution output is
+// implementation-defined).
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    s0_ = SplitMix(seed);
+    s1_ = SplitMix(s0_);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    PAYG_ASSERT(n > 0);
+    return Next() % n;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    PAYG_ASSERT(lo <= hi);
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Bernoulli draw with probability p of true.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+ private:
+  static uint64_t SplitMix(uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace payg
+
+#endif  // PAYG_COMMON_RANDOM_H_

@@ -1,0 +1,52 @@
+#ifndef PAYG_COMMON_RESULT_H_
+#define PAYG_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace payg {
+
+// A value-or-status holder, in the spirit of absl::StatusOr. The value is
+// only accessible when ok(); accessing it otherwise aborts.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from values and from Status keeps call sites
+  // readable: `return 42;` / `return Status::NotFound(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    PAYG_ASSERT_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    PAYG_ASSERT_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    PAYG_ASSERT_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    PAYG_ASSERT_MSG(ok(), status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace payg
+
+#endif  // PAYG_COMMON_RESULT_H_

@@ -1,0 +1,20 @@
+#include "common/stopwatch.h"
+
+namespace payg {
+
+void SpinWaitMicros(uint64_t micros) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(micros);
+  while (std::chrono::steady_clock::now() < deadline) {
+    // spin
+  }
+}
+
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace payg

@@ -1,0 +1,125 @@
+#include "encoding/bit_packing.h"
+
+#include <algorithm>
+
+namespace payg {
+
+namespace {
+
+// Shared sliding-window decode skeleton. Keeps the 8-byte window read and
+// incrementing bit cursor in one tight loop; `emit` is inlined per caller.
+template <typename Emit>
+inline void DecodeLoop(const uint64_t* words, uint32_t bits, uint64_t from,
+                       uint64_t to, Emit emit) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(words);
+  const uint64_t mask = LowMask(bits);
+  uint64_t bitpos = from * bits;
+  for (uint64_t i = from; i < to; ++i, bitpos += bits) {
+    uint64_t window;
+    std::memcpy(&window, bytes + (bitpos >> 3), sizeof(window));
+    emit(i, (window >> (bitpos & 7)) & mask);
+  }
+}
+
+}  // namespace
+
+void PackedMGet(const uint64_t* words, uint32_t bits, uint64_t from,
+                uint64_t to, uint32_t* out) {
+  uint32_t* dst = out;
+  // Unrolled by four: each iteration is independent, which lets the compiler
+  // keep multiple window loads in flight (the scalar analogue of the SIMD
+  // decode in §3.1.3).
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(words);
+  const uint64_t mask = LowMask(bits);
+  uint64_t i = from;
+  uint64_t bitpos = from * bits;
+  for (; i + 4 <= to; i += 4, bitpos += 4ull * bits) {
+    uint64_t w0, w1, w2, w3;
+    uint64_t b0 = bitpos, b1 = bitpos + bits, b2 = bitpos + 2ull * bits,
+             b3 = bitpos + 3ull * bits;
+    std::memcpy(&w0, bytes + (b0 >> 3), 8);
+    std::memcpy(&w1, bytes + (b1 >> 3), 8);
+    std::memcpy(&w2, bytes + (b2 >> 3), 8);
+    std::memcpy(&w3, bytes + (b3 >> 3), 8);
+    dst[0] = static_cast<uint32_t>((w0 >> (b0 & 7)) & mask);
+    dst[1] = static_cast<uint32_t>((w1 >> (b1 & 7)) & mask);
+    dst[2] = static_cast<uint32_t>((w2 >> (b2 & 7)) & mask);
+    dst[3] = static_cast<uint32_t>((w3 >> (b3 & 7)) & mask);
+    dst += 4;
+  }
+  for (; i < to; ++i, bitpos += bits) {
+    uint64_t w;
+    std::memcpy(&w, bytes + (bitpos >> 3), 8);
+    *dst++ = static_cast<uint32_t>((w >> (bitpos & 7)) & mask);
+  }
+}
+
+void PackedSearchEq(const uint64_t* words, uint32_t bits, uint64_t from,
+                    uint64_t to, uint64_t vid, RowPos base,
+                    std::vector<RowPos>* out) {
+  DecodeLoop(words, bits, from, to, [&](uint64_t i, uint64_t v) {
+    if (v == vid) out->push_back(base + static_cast<RowPos>(i - from));
+  });
+}
+
+void PackedSearchRange(const uint64_t* words, uint32_t bits, uint64_t from,
+                       uint64_t to, uint64_t lo, uint64_t hi, RowPos base,
+                       std::vector<RowPos>* out) {
+  DecodeLoop(words, bits, from, to, [&](uint64_t i, uint64_t v) {
+    // Single-branch band check: (v - lo) <= (hi - lo) in unsigned arithmetic.
+    if (v - lo <= hi - lo) out->push_back(base + static_cast<RowPos>(i - from));
+  });
+}
+
+void PackedSearchIn(const uint64_t* words, uint32_t bits, uint64_t from,
+                    uint64_t to, const std::vector<ValueId>& sorted_vids,
+                    RowPos base, std::vector<RowPos>* out) {
+  if (sorted_vids.empty()) return;
+  const ValueId lo = sorted_vids.front();
+  const ValueId hi = sorted_vids.back();
+  DecodeLoop(words, bits, from, to, [&](uint64_t i, uint64_t v) {
+    if (v - lo > static_cast<uint64_t>(hi) - lo) return;  // fast band reject
+    if (std::binary_search(sorted_vids.begin(), sorted_vids.end(),
+                           static_cast<ValueId>(v))) {
+      out->push_back(base + static_cast<RowPos>(i - from));
+    }
+  });
+}
+
+PackedVector PackedVector::FromWords(uint32_t bits, uint64_t size,
+                                     std::vector<uint64_t> words) {
+  PAYG_ASSERT(bits >= 1 && bits <= 32);
+  PackedVector pv(bits);
+  uint64_t needed = CeilDiv(size * bits, 64) + 2;
+  PAYG_ASSERT(words.size() + 2 >= needed);  // caller supplied all data words
+  if (words.size() < needed) words.resize(needed, 0);
+  pv.words_ = std::move(words);
+  pv.size_ = size;
+  return pv;
+}
+
+PackedVector PackedVector::Pack(const std::vector<ValueId>& values) {
+  ValueId max_v = 0;
+  for (ValueId v : values) max_v = std::max(max_v, v);
+  PackedVector pv(BitsNeeded(max_v));
+  pv.EnsureCapacity(values.size());
+  for (ValueId v : values) pv.Append(v);
+  return pv;
+}
+
+void PackedVector::Append(uint64_t v) {
+  EnsureCapacity(size_ + 1);
+  PackedSet(words_.data(), bits_, size_, v);
+  ++size_;
+}
+
+void PackedVector::EnsureCapacity(uint64_t values) {
+  // +2: one word for straddling writes, one for the kernels' 8-byte
+  // window overread.
+  uint64_t words_needed = CeilDiv(values * bits_, 64) + 2;
+  if (words_.size() < words_needed) {
+    words_.resize(std::max<uint64_t>(words_needed, words_.size() * 2));
+  }
+}
+
+}  // namespace payg

@@ -1,0 +1,124 @@
+#ifndef PAYG_ENCODING_BIT_PACKING_H_
+#define PAYG_ENCODING_BIT_PACKING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "encoding/types.h"
+
+namespace payg {
+
+// ---------------------------------------------------------------------------
+// Raw kernels over packed word buffers.
+//
+// Layout: values are packed LSB-first into consecutive bits of a uint64_t
+// array; value i occupies bits [i*n, (i+1)*n). Because chunks hold exactly 64
+// values, chunk c starts at word c*n, and all kernels may be applied to a
+// chunk-aligned sub-buffer (this is how the paged data vector decodes single
+// pages). Buffers must be allocated with one extra tail word so the unaligned
+// 8-byte window read below may overread safely.
+// ---------------------------------------------------------------------------
+
+// Reads value `idx` from a packed buffer. bits must be in [1, 32].
+inline uint64_t PackedGet(const uint64_t* words, uint32_t bits, uint64_t idx) {
+  const uint64_t bitpos = idx * bits;
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(words);
+  uint64_t window;
+  std::memcpy(&window, bytes + (bitpos >> 3), sizeof(window));
+  return (window >> (bitpos & 7)) & LowMask(bits);
+}
+
+// Writes value `v` at `idx`. Not thread-safe; used by builders only.
+inline void PackedSet(uint64_t* words, uint32_t bits, uint64_t idx,
+                      uint64_t v) {
+  PAYG_ASSERT(v <= LowMask(bits));
+  uint64_t bitpos = idx * bits;
+  uint64_t word = bitpos >> 6;
+  uint32_t shift = bitpos & 63;
+  words[word] = (words[word] & ~(LowMask(bits) << shift)) | (v << shift);
+  if (shift + bits > 64) {
+    uint32_t hi_bits = shift + bits - 64;
+    words[word + 1] =
+        (words[word + 1] & ~LowMask(hi_bits)) | (v >> (bits - hi_bits));
+  }
+}
+
+// Decodes values [from, to) into out[0..to-from). The hot "mget" primitive
+// (Fig 1): a branch-free sliding-window loop the compiler can vectorize.
+void PackedMGet(const uint64_t* words, uint32_t bits, uint64_t from,
+                uint64_t to, uint32_t* out);
+
+// Appends to `out` the positions p in [from, to) where value == vid.
+// Positions are reported as `base + (p - from)` so page-local scans can
+// report absolute row positions. The hot "search" primitive (Fig 1).
+void PackedSearchEq(const uint64_t* words, uint32_t bits, uint64_t from,
+                    uint64_t to, uint64_t vid, RowPos base,
+                    std::vector<RowPos>* out);
+
+// Range predicate variant: lo <= value <= hi.
+void PackedSearchRange(const uint64_t* words, uint32_t bits, uint64_t from,
+                       uint64_t to, uint64_t lo, uint64_t hi, RowPos base,
+                       std::vector<RowPos>* out);
+
+// Set-predicate variant: value ∈ sorted_vids (sorted ascending).
+void PackedSearchIn(const uint64_t* words, uint32_t bits, uint64_t from,
+                    uint64_t to, const std::vector<ValueId>& sorted_vids,
+                    RowPos base, std::vector<RowPos>* out);
+
+// ---------------------------------------------------------------------------
+// PackedVector: an owning, fully-in-memory n-bit packed vector. This is the
+// in-memory data vector of a default (fully loadable) column, and the staging
+// buffer the paged builders pack from.
+// ---------------------------------------------------------------------------
+class PackedVector {
+ public:
+  PackedVector() = default;
+
+  // Builds with a fixed bit width; values appended must fit.
+  explicit PackedVector(uint32_t bits) : bits_(bits) {
+    PAYG_ASSERT(bits >= 1 && bits <= 32);
+    EnsureCapacity(0);  // padding words exist even for an empty vector
+  }
+
+  // Packs an existing vector using the minimal uniform width.
+  static PackedVector Pack(const std::vector<ValueId>& values);
+
+  // Adopts already-packed words (deserialization path). `words` may be
+  // re-padded to satisfy the kernels' overread guarantee.
+  static PackedVector FromWords(uint32_t bits, uint64_t size,
+                                std::vector<uint64_t> words);
+
+  void Append(uint64_t v);
+
+  uint64_t Get(uint64_t idx) const {
+    PAYG_ASSERT(idx < size_);
+    return PackedGet(words_.data(), bits_, idx);
+  }
+
+  void MGet(uint64_t from, uint64_t to, uint32_t* out) const {
+    PAYG_ASSERT(from <= to && to <= size_);
+    PackedMGet(words_.data(), bits_, from, to, out);
+  }
+
+  uint64_t size() const { return size_; }
+  uint32_t bits() const { return bits_; }
+  const uint64_t* words() const { return words_.data(); }
+  uint64_t word_count() const { return words_.size(); }
+
+  // Bytes of heap memory held (accounting for the resource manager).
+  uint64_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
+ private:
+  void EnsureCapacity(uint64_t values);
+
+  uint32_t bits_ = 1;
+  uint64_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace payg
+
+#endif  // PAYG_ENCODING_BIT_PACKING_H_

@@ -1,0 +1,91 @@
+#ifndef PAYG_ENCODING_SPARSE_VECTOR_H_
+#define PAYG_ENCODING_SPARSE_VECTOR_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "encoding/bit_packing.h"
+#include "encoding/types.h"
+
+namespace payg {
+
+// Sparse encoding of a value-identifier vector (Lemke et al. [15], cited in
+// §3.1 as the compression applied on top of dictionary encoding): when one
+// vid dominates the column — ERP tables are full of status/flag columns
+// where it does — the dominant value is stored implicitly. A bitmap marks
+// the exception positions and only the exception vids are n-bit packed.
+//
+// Get is O(1) via a per-word rank directory; the search primitives visit
+// only exception words (plus bitmap zeros when the predicate covers the
+// dominant value), so scans over very sparse columns touch a fraction of
+// the bytes a plain n-bit vector would.
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  // Fraction of rows equal to the most frequent vid.
+  static double DominantFraction(const std::vector<ValueId>& vids,
+                                 ValueId* dominant);
+
+  // True when sparse encoding is expected to beat uniform n-bit packing
+  // (dominant fraction at or above `threshold`).
+  static bool ShouldUse(const std::vector<ValueId>& vids,
+                        double threshold = 0.6);
+
+  static SparseVector Encode(const std::vector<ValueId>& vids);
+
+  // Deserialization: adopts previously persisted parts.
+  static SparseVector FromParts(uint64_t size, ValueId dominant,
+                                uint32_t bits,
+                                std::vector<uint64_t> exception_bitmap,
+                                PackedVector exceptions);
+
+  uint64_t size() const { return size_; }
+  ValueId dominant() const { return dominant_; }
+  uint32_t bits() const { return bits_; }
+  uint64_t exception_count() const { return exceptions_.size(); }
+  const std::vector<uint64_t>& exception_bitmap() const { return bitmap_; }
+  const PackedVector& exceptions() const { return exceptions_; }
+
+  ValueId Get(uint64_t i) const {
+    PAYG_ASSERT(i < size_);
+    uint64_t word = bitmap_[i >> 6];
+    uint64_t bit = uint64_t{1} << (i & 63);
+    if ((word & bit) == 0) return dominant_;
+    uint64_t r = rank_[i >> 6] +
+                 static_cast<uint64_t>(
+                     std::popcount(word & (bit - 1)));
+    return static_cast<ValueId>(exceptions_.Get(r));
+  }
+
+  void MGet(uint64_t from, uint64_t to, ValueId* out) const;
+
+  // The same search primitives the packed kernels provide, over [from, to).
+  void SearchEq(uint64_t from, uint64_t to, ValueId vid, RowPos base,
+                std::vector<RowPos>* out) const;
+  void SearchRange(uint64_t from, uint64_t to, ValueId lo, ValueId hi,
+                   RowPos base, std::vector<RowPos>* out) const;
+  void SearchIn(uint64_t from, uint64_t to,
+                const std::vector<ValueId>& sorted_vids, RowPos base,
+                std::vector<RowPos>* out) const;
+
+  uint64_t MemoryBytes() const {
+    return bitmap_.capacity() * 8 + rank_.capacity() * 8 +
+           exceptions_.MemoryBytes();
+  }
+
+ private:
+  void BuildRank();
+
+  uint64_t size_ = 0;
+  ValueId dominant_ = 0;
+  uint32_t bits_ = 1;                // width of exception values
+  std::vector<uint64_t> bitmap_;     // 1 = exception at this position
+  std::vector<uint64_t> rank_;       // exceptions before word w
+  PackedVector exceptions_;          // packed exception vids, in row order
+};
+
+}  // namespace payg
+
+#endif  // PAYG_ENCODING_SPARSE_VECTOR_H_

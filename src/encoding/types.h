@@ -1,0 +1,30 @@
+#ifndef PAYG_ENCODING_TYPES_H_
+#define PAYG_ENCODING_TYPES_H_
+
+#include <cstdint>
+
+namespace payg {
+
+// Dictionary-assigned value identifier. Order-preserving in main fragments:
+// vid order == value order.
+using ValueId = uint32_t;
+inline constexpr ValueId kInvalidValueId = ~ValueId{0};
+
+// Row position within a column fragment.
+using RowPos = uint32_t;
+inline constexpr RowPos kInvalidRowPos = ~RowPos{0};
+
+// Values per chunk. Chunks are the paper's unit of packing: 64 n-bit values
+// always occupy exactly n 64-bit words, so a chunk is byte-exact for every n
+// and no value identifier ever spans a page boundary.
+inline constexpr uint32_t kChunkValues = 64;
+
+// Words (uint64_t) occupied by one chunk of n-bit values.
+inline constexpr uint32_t ChunkWords(uint32_t bits) { return bits; }
+
+// Bytes occupied by one chunk of n-bit values.
+inline constexpr uint32_t ChunkBytes(uint32_t bits) { return bits * 8; }
+
+}  // namespace payg
+
+#endif  // PAYG_ENCODING_TYPES_H_

@@ -1,0 +1,79 @@
+#include "paged/page_cache.h"
+
+namespace payg {
+
+Result<PageRef> PageCache::GetPage(LogicalPageNo lpn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(lpn);
+    if (it != slots_.end()) {
+      PinnedResource pin = PinnedResource::TryPin(rm_, it->second.rid);
+      if (pin.valid()) {
+        return PageRef(it->second.page, std::move(pin), lpn);
+      }
+      // The resource manager chose this page as a victim and its callback
+      // has not reached us yet; treat as a miss (the callback erases only
+      // its own generation, so reloading below is safe).
+      slots_.erase(it);
+    }
+  }
+
+  // Load outside the cache lock: the (possibly simulated-latency) read must
+  // not block concurrent eviction callbacks.
+  auto page = std::make_shared<Page>(file_->page_size());
+  PAYG_RETURN_IF_ERROR(file_->ReadPage(lpn, page.get()));
+  loads_.fetch_add(1, std::memory_order_relaxed);
+
+  const uint64_t gen = next_generation_.fetch_add(1);
+  ResourceId rid = rm_->RegisterPinned(
+      label_ + "#" + std::to_string(lpn), file_->page_size(),
+      Disposition::kPagedAttribute, pool_,
+      [this, lpn, gen] { EvictSlot(lpn, gen); });
+  PinnedResource pin = PinnedResource::Adopt(rm_, rid);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(lpn);
+    if (it != slots_.end()) {
+      // Another thread loaded the same page concurrently; keep theirs and
+      // drop ours.
+      PinnedResource theirs = PinnedResource::TryPin(rm_, it->second.rid);
+      if (theirs.valid()) {
+        pin.Release();
+        rm_->Unregister(rid);
+        return PageRef(it->second.page, std::move(theirs), lpn);
+      }
+      slots_.erase(it);
+    }
+    slots_[lpn] = Slot{page, rid, gen};
+  }
+  return PageRef(std::move(page), std::move(pin), lpn);
+}
+
+void PageCache::EvictSlot(LogicalPageNo lpn, uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(lpn);
+  if (it != slots_.end() && it->second.generation == generation) {
+    slots_.erase(it);
+  }
+}
+
+bool PageCache::IsLoaded(LogicalPageNo lpn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.count(lpn) > 0;
+}
+
+void PageCache::DropAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [lpn, slot] : slots_) {
+    rm_->Unregister(slot.rid);
+  }
+  slots_.clear();
+}
+
+uint64_t PageCache::loaded_page_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+}  // namespace payg

@@ -1,0 +1,98 @@
+#ifndef PAYG_PAGED_PAGE_CACHE_H_
+#define PAYG_PAGED_PAGE_CACHE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "buffer/resource_manager.h"
+#include "common/result.h"
+#include "storage/page_file.h"
+
+namespace payg {
+
+// A pinned reference to a loaded page. While the pin is held the resource
+// manager will not evict the page (§3.1.2: the iterator "pins the page in
+// memory to make sure the page does not get evicted by the resource manager
+// when it is being read"). The shared_ptr keeps the bytes alive even across
+// an owner-initiated unload, so readers never observe freed memory.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(std::shared_ptr<Page> page, PinnedResource pin, LogicalPageNo lpn)
+      : page_(std::move(page)), pin_(std::move(pin)), lpn_(lpn) {}
+
+  bool valid() const { return page_ != nullptr; }
+  const Page& page() const { return *page_; }
+  LogicalPageNo lpn() const { return lpn_; }
+
+  void Release() {
+    pin_.Release();
+    page_.reset();
+  }
+
+ private:
+  std::shared_ptr<Page> page_;
+  PinnedResource pin_;
+  LogicalPageNo lpn_ = kInvalidPageNo;
+};
+
+// Tracks which pages of one page chain are currently loaded, registering
+// each loaded page as an individual kPagedAttribute resource. Eviction by
+// the resource manager simply drops the page from this cache; the next
+// access reloads it from disk.
+//
+// Thread-safe; the eviction callback runs on the manager's sweeper thread.
+class PageCache {
+ public:
+  PageCache(PageFile* file, ResourceManager* rm, PoolId pool,
+            std::string label)
+      : file_(file), rm_(rm), pool_(pool), label_(std::move(label)) {}
+
+  ~PageCache() { DropAll(); }
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  // Returns a pinned reference to page `lpn`, loading it if not resident.
+  Result<PageRef> GetPage(LogicalPageNo lpn);
+
+  // True if the page is resident right now (tests / stats; racy by nature).
+  bool IsLoaded(LogicalPageNo lpn) const;
+
+  // Unloads every cached page (structure unload). Outstanding PageRefs keep
+  // their bytes alive but the pages leave the accounting.
+  void DropAll();
+
+  uint64_t loaded_page_count() const;
+  uint64_t load_count() const { return loads_; }
+
+  PageFile* file() const { return file_; }
+  ResourceManager* resource_manager() const { return rm_; }
+
+ private:
+  struct Slot {
+    std::shared_ptr<Page> page;
+    ResourceId rid = kInvalidResourceId;
+    uint64_t generation = 0;
+  };
+
+  // Eviction callback target: forgets the slot if it still belongs to the
+  // registration identified by `generation`.
+  void EvictSlot(LogicalPageNo lpn, uint64_t generation);
+
+  PageFile* file_;
+  ResourceManager* rm_;
+  PoolId pool_;
+  std::string label_;
+  mutable std::mutex mu_;
+  std::unordered_map<LogicalPageNo, Slot> slots_;
+  std::atomic<uint64_t> loads_{0};
+  std::atomic<uint64_t> next_generation_{1};
+};
+
+}  // namespace payg
+
+#endif  // PAYG_PAGED_PAGE_CACHE_H_

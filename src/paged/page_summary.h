@@ -1,0 +1,39 @@
+#ifndef PAYG_PAGED_PAGE_SUMMARY_H_
+#define PAYG_PAGED_PAGE_SUMMARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "encoding/types.h"
+
+namespace payg {
+
+// Per-page min/max summary of a paged data vector — the lightweight
+// alternative to an inverted index that §3.3 discusses: "An example summary
+// may keep the minimum and the maximum of the encoded values per page. The
+// summary can be used to determine whether a page contains value identifiers
+// within a range without actually loading the page."
+//
+// It is transient in spirit but persisted alongside the data vector (one
+// small chain) so it survives restarts; it loads whole on first use, like
+// the dictionary helper indexes.
+struct PageSummary {
+  std::vector<ValueId> min_vid;  // per data page
+  std::vector<ValueId> max_vid;
+
+  uint64_t page_count() const { return min_vid.size(); }
+
+  // True if data page `page_idx` (0-based among data pages) may contain a
+  // vid in [lo, hi]. False positives possible, false negatives not.
+  bool MayContain(uint64_t page_idx, ValueId lo, ValueId hi) const {
+    return !(hi < min_vid[page_idx] || lo > max_vid[page_idx]);
+  }
+
+  uint64_t MemoryBytes() const {
+    return (min_vid.capacity() + max_vid.capacity()) * sizeof(ValueId);
+  }
+};
+
+}  // namespace payg
+
+#endif  // PAYG_PAGED_PAGE_SUMMARY_H_

@@ -1,0 +1,344 @@
+#include "paged/paged_data_vector.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "storage/byte_stream.h"
+
+namespace payg {
+
+namespace {
+
+std::string ChainName(const std::string& name) { return name + ".dv"; }
+std::string SummaryChainName(const std::string& name) {
+  return name + ".dvsum";
+}
+
+// Chunks that fit a page payload, leaving one spare word so the packed
+// kernels' 8-byte window overread stays inside the payload buffer.
+uint64_t ChunksPerPage(uint32_t payload_bytes, uint32_t bits) {
+  return (payload_bytes - sizeof(uint64_t)) / ChunkBytes(bits);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PagedDataVector>> PagedDataVector::Build(
+    StorageManager* storage, ResourceManager* rm, PoolId pool,
+    const std::string& name, const std::vector<ValueId>& vids) {
+  const uint32_t page_size = storage->options().page_size;
+  PAYG_ASSIGN_OR_RETURN(auto file,
+                        storage->CreateChain(ChainName(name), page_size));
+
+  ValueId max_vid = 0;
+  for (ValueId v : vids) max_vid = std::max(max_vid, v);
+  const uint32_t bits = BitsNeeded(max_vid);
+
+  Page probe(page_size);
+  const uint64_t chunks_per_page = ChunksPerPage(probe.capacity(), bits);
+  PAYG_ASSERT_MSG(chunks_per_page > 0, "page too small for one chunk");
+  const uint64_t values_per_page = chunks_per_page * kChunkValues;
+
+  // Meta page (page 0).
+  {
+    Page meta(page_size);
+    meta.set_type(PageType::kMeta);
+    uint8_t* p = meta.payload();
+    uint64_t row_count = vids.size();
+    std::memcpy(p, &bits, sizeof(bits));
+    std::memcpy(p + 8, &row_count, sizeof(row_count));
+    std::memcpy(p + 16, &values_per_page, sizeof(values_per_page));
+    meta.set_payload_size(24);
+    auto r = file->AppendPage(&meta);
+    if (!r.ok()) return r.status();
+  }
+
+  // Data pages: pack values_per_page identifiers per page, collecting the
+  // per-page min/max summary as we go (§3.3).
+  uint64_t data_pages = 0;
+  std::vector<ValueId> page_min, page_max;
+  Page page(page_size);
+  page.set_type(PageType::kDataVector);
+  for (uint64_t first = 0; first < vids.size() || vids.empty();
+       first += values_per_page) {
+    uint64_t n =
+        std::min<uint64_t>(values_per_page, vids.size() - first);
+    std::memset(page.payload(), 0, page.capacity());
+    uint64_t* words = reinterpret_cast<uint64_t*>(page.payload());
+    ValueId mn = kInvalidValueId, mx = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      ValueId v = vids[first + i];
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+      PackedSet(words, bits, i, v);
+    }
+    page_min.push_back(n == 0 ? 0 : mn);
+    page_max.push_back(n == 0 ? 0 : mx);
+    uint64_t chunks = CeilDiv(n, kChunkValues);
+    page.set_payload_size(
+        static_cast<uint32_t>(chunks * ChunkBytes(bits) + sizeof(uint64_t)));
+    page.header()->aux = static_cast<uint32_t>(n);  // values on this page
+    auto r = file->AppendPage(&page);
+    if (!r.ok()) return r.status();
+    ++data_pages;
+    if (vids.empty()) break;
+  }
+  PAYG_RETURN_IF_ERROR(file->Sync());
+
+  // Persist the min/max summary in its own (small) chain.
+  {
+    PAYG_ASSIGN_OR_RETURN(
+        auto sfile, storage->CreateNonCriticalChain(SummaryChainName(name), page_size));
+    ChainByteWriter w(sfile.get());
+    w.PutU64(data_pages);
+    for (uint64_t p = 0; p < data_pages; ++p) {
+      w.PutU32(page_min[p]);
+      w.PutU32(page_max[p]);
+    }
+    PAYG_RETURN_IF_ERROR(w.Finish());
+    PAYG_RETURN_IF_ERROR(sfile->Sync());
+  }
+
+  auto dv = std::unique_ptr<PagedDataVector>(new PagedDataVector());
+  dv->name_ = name;
+  dv->storage_ = storage;
+  dv->rm_ = rm;
+  dv->pool_ = pool;
+  dv->row_count_ = vids.size();
+  dv->bits_ = bits;
+  dv->values_per_page_ = values_per_page;
+  dv->data_pages_ = data_pages;
+  dv->file_ = std::move(file);
+  dv->cache_ = std::make_unique<PageCache>(dv->file_.get(), rm, pool,
+                                           name + ".dv");
+  return dv;
+}
+
+Result<std::unique_ptr<PagedDataVector>> PagedDataVector::Open(
+    StorageManager* storage, ResourceManager* rm, PoolId pool,
+    const std::string& name) {
+  const uint32_t page_size = storage->options().page_size;
+  PAYG_ASSIGN_OR_RETURN(auto file,
+                        storage->OpenChain(ChainName(name), page_size));
+  Page meta(page_size);
+  PAYG_RETURN_IF_ERROR(file->ReadPage(0, &meta));
+  if (meta.type() != PageType::kMeta) {
+    return Status::Corruption("data vector chain missing meta page");
+  }
+  auto dv = std::unique_ptr<PagedDataVector>(new PagedDataVector());
+  dv->name_ = name;
+  dv->storage_ = storage;
+  dv->rm_ = rm;
+  dv->pool_ = pool;
+  const uint8_t* p = meta.payload();
+  std::memcpy(&dv->bits_, p, sizeof(dv->bits_));
+  std::memcpy(&dv->row_count_, p + 8, sizeof(dv->row_count_));
+  std::memcpy(&dv->values_per_page_, p + 16, sizeof(dv->values_per_page_));
+  dv->data_pages_ = file->page_count() - 1;
+  dv->file_ = std::move(file);
+  dv->cache_ = std::make_unique<PageCache>(dv->file_.get(), rm, pool,
+                                           name + ".dv");
+  return dv;
+}
+
+Result<std::shared_ptr<PageSummary>> PagedDataVector::PinSummary(
+    PinnedResource* pin) {
+  {
+    std::lock_guard<std::mutex> lock(summary_mu_);
+    if (summary_ != nullptr) {
+      PinnedResource p = PinnedResource::TryPin(rm_, summary_rid_);
+      if (p.valid()) {
+        *pin = std::move(p);
+        return summary_;
+      }
+      rm_->Unregister(summary_rid_);
+      summary_ = nullptr;
+      summary_rid_ = kInvalidResourceId;
+    }
+  }
+
+  PAYG_ASSIGN_OR_RETURN(
+      auto sfile, storage_->OpenNonCriticalChain(SummaryChainName(name_),
+                                      file_->page_size()));
+  ChainByteReader r(sfile.get());
+  auto s = std::make_shared<PageSummary>();
+  uint64_t pages;
+  PAYG_ASSIGN_OR_RETURN(pages, r.GetU64());
+  s->min_vid.reserve(pages);
+  s->max_vid.reserve(pages);
+  for (uint64_t p = 0; p < pages; ++p) {
+    PAYG_ASSIGN_OR_RETURN(uint32_t mn, r.GetU32());
+    PAYG_ASSIGN_OR_RETURN(uint32_t mx, r.GetU32());
+    s->min_vid.push_back(mn);
+    s->max_vid.push_back(mx);
+  }
+
+  std::lock_guard<std::mutex> lock(summary_mu_);
+  if (summary_ != nullptr) {
+    PinnedResource p = PinnedResource::TryPin(rm_, summary_rid_);
+    if (p.valid()) {
+      *pin = std::move(p);
+      return summary_;
+    }
+    rm_->Unregister(summary_rid_);
+  }
+  const uint64_t gen = ++summary_gen_;
+  summary_ = std::move(s);
+  summary_rid_ = rm_->RegisterPinned(
+      name_ + ".dvsum", summary_->MemoryBytes(), Disposition::kPagedAttribute,
+      pool_, [this, gen] {
+        std::lock_guard<std::mutex> lk(summary_mu_);
+        if (summary_gen_ == gen) {
+          summary_ = nullptr;
+          summary_rid_ = kInvalidResourceId;
+        }
+      });
+  *pin = PinnedResource::Adopt(rm_, summary_rid_);
+  return summary_;
+}
+
+void PagedDataVector::Unload() {
+  {
+    std::lock_guard<std::mutex> lock(summary_mu_);
+    if (summary_ != nullptr) {
+      rm_->Unregister(summary_rid_);
+      summary_ = nullptr;
+      summary_rid_ = kInvalidResourceId;
+    }
+  }
+  if (cache_ != nullptr) cache_->DropAll();
+}
+
+PagedDataVector::~PagedDataVector() { Unload(); }
+
+bool PagedDataVectorIterator::MayContain(RowPos rpos, ValueId lo,
+                                         ValueId hi) {
+  if (!use_summary_) return true;
+  if (!summary_checked_) {
+    summary_checked_ = true;
+    auto s = dv_->PinSummary(&summary_pin_);
+    if (s.ok()) summary_ = *s;
+  }
+  if (summary_ == nullptr) return true;  // no summary: no pruning
+  uint64_t page_idx = rpos / dv_->values_per_page_;
+  if (page_idx >= summary_->page_count()) return true;
+  return summary_->MayContain(page_idx, lo, hi);
+}
+
+Status PagedDataVectorIterator::Reposition(RowPos rpos) {
+  LogicalPageNo lpn = dv_->PageOfRow(rpos);
+  if (lpn == current_lpn_ && current_.valid()) return Status::OK();
+  // Pin the new page after releasing the handle to the previous page
+  // (§3.1.2 "page reposition").
+  current_.Release();
+  current_lpn_ = kInvalidPageNo;
+  auto ref = dv_->cache_->GetPage(lpn);
+  if (!ref.ok()) return ref.status();
+  current_ = std::move(*ref);
+  current_lpn_ = lpn;
+  page_first_row_ = static_cast<RowPos>((lpn - 1) * dv_->values_per_page_);
+  page_rows_ = current_.page().header()->aux;
+  ++pages_touched_;
+  return Status::OK();
+}
+
+Result<ValueId> PagedDataVectorIterator::Get(RowPos rpos) {
+  if (rpos >= dv_->row_count_) return Status::OutOfRange("row position");
+  PAYG_RETURN_IF_ERROR(Reposition(rpos));
+  const uint64_t* words =
+      reinterpret_cast<const uint64_t*>(current_.page().payload());
+  return static_cast<ValueId>(
+      PackedGet(words, dv_->bits_, rpos - page_first_row_));
+}
+
+Status PagedDataVectorIterator::MGet(RowPos from, RowPos to,
+                                     std::vector<ValueId>* out) {
+  if (from > to || to > dv_->row_count_) return Status::OutOfRange("range");
+  RowPos r = from;
+  while (r < to) {
+    PAYG_RETURN_IF_ERROR(Reposition(r));
+    RowPos page_end = page_first_row_ + static_cast<RowPos>(page_rows_);
+    RowPos stop = std::min(to, page_end);
+    size_t old = out->size();
+    out->resize(old + (stop - r));
+    const uint64_t* words =
+        reinterpret_cast<const uint64_t*>(current_.page().payload());
+    PackedMGet(words, dv_->bits_, r - page_first_row_, stop - page_first_row_,
+               out->data() + old);
+    r = stop;
+  }
+  return Status::OK();
+}
+
+Status PagedDataVectorIterator::SearchRange(RowPos from, RowPos to, ValueId lo,
+                                            ValueId hi,
+                                            std::vector<RowPos>* out) {
+  if (from > to || to > dv_->row_count_) return Status::OutOfRange("range");
+  RowPos r = from;
+  while (r < to) {
+    // Skip pages whose [min,max] cannot overlap the predicate without
+    // loading them (§3.3's summary pruning).
+    if (!MayContain(r, lo, hi)) {
+      RowPos page_end = static_cast<RowPos>(
+          (r / dv_->values_per_page_ + 1) * dv_->values_per_page_);
+      r = std::min(to, page_end);
+      ++pages_pruned_;
+      continue;
+    }
+    PAYG_RETURN_IF_ERROR(Reposition(r));
+    RowPos page_end = page_first_row_ + static_cast<RowPos>(page_rows_);
+    RowPos stop = std::min(to, page_end);
+    const uint64_t* words =
+        reinterpret_cast<const uint64_t*>(current_.page().payload());
+    PackedSearchRange(words, dv_->bits_, r - page_first_row_,
+                      stop - page_first_row_, lo, hi, r, out);
+    r = stop;
+  }
+  return Status::OK();
+}
+
+Status PagedDataVectorIterator::SearchEq(RowPos from, RowPos to, ValueId vid,
+                                         std::vector<RowPos>* out) {
+  return SearchRange(from, to, vid, vid, out);
+}
+
+Status PagedDataVectorIterator::SearchIn(
+    RowPos from, RowPos to, const std::vector<ValueId>& sorted_vids,
+    std::vector<RowPos>* out) {
+  if (from > to || to > dv_->row_count_) return Status::OutOfRange("range");
+  if (sorted_vids.empty()) return Status::OK();
+  const ValueId band_lo = sorted_vids.front();
+  const ValueId band_hi = sorted_vids.back();
+  RowPos r = from;
+  while (r < to) {
+    if (!MayContain(r, band_lo, band_hi)) {
+      RowPos page_end = static_cast<RowPos>(
+          (r / dv_->values_per_page_ + 1) * dv_->values_per_page_);
+      r = std::min(to, page_end);
+      ++pages_pruned_;
+      continue;
+    }
+    PAYG_RETURN_IF_ERROR(Reposition(r));
+    RowPos page_end = page_first_row_ + static_cast<RowPos>(page_rows_);
+    RowPos stop = std::min(to, page_end);
+    const uint64_t* words =
+        reinterpret_cast<const uint64_t*>(current_.page().payload());
+    PackedSearchIn(words, dv_->bits_, r - page_first_row_,
+                   stop - page_first_row_, sorted_vids, r, out);
+    r = stop;
+  }
+  return Status::OK();
+}
+
+Status PagedDataVectorIterator::SearchRowsRange(const std::vector<RowPos>& rows,
+                                                ValueId lo, ValueId hi,
+                                                std::vector<RowPos>* out) {
+  for (RowPos r : rows) {
+    auto vid = Get(r);
+    if (!vid.ok()) return vid.status();
+    uint64_t v = *vid;
+    if (v - lo <= static_cast<uint64_t>(hi) - lo) out->push_back(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace payg

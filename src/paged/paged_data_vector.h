@@ -1,0 +1,160 @@
+#ifndef PAYG_PAGED_PAGED_DATA_VECTOR_H_
+#define PAYG_PAGED_PAGED_DATA_VECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <mutex>
+
+#include "buffer/resource_manager.h"
+#include "common/result.h"
+#include "encoding/bit_packing.h"
+#include "paged/page_cache.h"
+#include "paged/page_summary.h"
+#include "storage/storage_manager.h"
+
+namespace payg {
+
+// Paged data vector (§3.1): value identifiers uniformly n-bit packed, split
+// into chunks of exactly 64 identifiers, stored as a chain of disk pages,
+// each holding an integral number of chunks. Uniform encoding makes row
+// position → logical page number pure arithmetic, which is what lets the
+// iterator load exactly the pages a row range needs.
+//
+// Chain layout: page 0 is a meta page (bits, row count); pages 1..N hold
+// chunk data.
+class PagedDataVector {
+ public:
+  // Builds and persists a new paged data vector under chain `<name>.dv`.
+  static Result<std::unique_ptr<PagedDataVector>> Build(
+      StorageManager* storage, ResourceManager* rm, PoolId pool,
+      const std::string& name, const std::vector<ValueId>& vids);
+
+  // Opens an existing chain; reads only the meta page.
+  static Result<std::unique_ptr<PagedDataVector>> Open(
+      StorageManager* storage, ResourceManager* rm, PoolId pool,
+      const std::string& name);
+
+  uint64_t row_count() const { return row_count_; }
+  uint32_t bits() const { return bits_; }
+  // Value identifiers stored per data page (a multiple of 64).
+  uint64_t values_per_page() const { return values_per_page_; }
+  uint64_t data_page_count() const { return data_pages_; }
+
+  // Logical page number holding row `rpos` (meta page is page 0, data pages
+  // start at 1).
+  LogicalPageNo PageOfRow(RowPos rpos) const {
+    return 1 + rpos / values_per_page_;
+  }
+
+  PageCache* cache() { return cache_.get(); }
+
+  // Loads (or returns) the per-page min/max summary (§3.3's alternative to
+  // the inverted index), pinned for the caller. Loaded whole on first use.
+  Result<std::shared_ptr<PageSummary>> PinSummary(PinnedResource* pin);
+
+  // Drops all resident pages and the summary (column unload).
+  void Unload();
+
+  ~PagedDataVector();
+
+ private:
+  friend class PagedDataVectorIterator;
+
+  PagedDataVector() = default;
+
+  std::string name_;
+  StorageManager* storage_ = nullptr;
+  ResourceManager* rm_ = nullptr;
+  PoolId pool_ = PoolId::kPagedPool;
+  uint64_t row_count_ = 0;
+  uint32_t bits_ = 1;
+  uint64_t values_per_page_ = 0;
+  uint64_t data_pages_ = 0;
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<PageCache> cache_;
+
+  mutable std::mutex summary_mu_;
+  std::shared_ptr<PageSummary> summary_;
+  ResourceId summary_rid_ = kInvalidResourceId;
+  uint64_t summary_gen_ = 0;
+};
+
+// Stateful iterator over a paged data vector (§3.1.2). Keeps at most one
+// data page pinned; repositioning to a new page releases the previous
+// handle first. Implements the decode methods (get, mget) and the search
+// method varieties over (row range | row list) × (single vid | vid range |
+// vid set).
+//
+// Not thread-safe; create one per query.
+class PagedDataVectorIterator {
+ public:
+  explicit PagedDataVectorIterator(PagedDataVector* dv) : dv_(dv) {}
+
+  // Decodes the value identifier at `rpos`.
+  Result<ValueId> Get(RowPos rpos);
+
+  // Decodes all vids in [from, to), appending to *out.
+  Status MGet(RowPos from, RowPos to, std::vector<ValueId>* out);
+
+  // search(range, single vid): rows in [from, to) whose vid == `vid`.
+  Status SearchEq(RowPos from, RowPos to, ValueId vid,
+                  std::vector<RowPos>* out);
+
+  // search(range, vid range): rows in [from, to) with lo <= vid <= hi.
+  Status SearchRange(RowPos from, RowPos to, ValueId lo, ValueId hi,
+                     std::vector<RowPos>* out);
+
+  // search(range, vid set): rows in [from, to) with vid ∈ sorted_vids.
+  Status SearchIn(RowPos from, RowPos to,
+                  const std::vector<ValueId>& sorted_vids,
+                  std::vector<RowPos>* out);
+
+  // search(row list, vid range): rows from `rows` (ascending) whose vid is
+  // in [lo, hi].
+  Status SearchRowsRange(const std::vector<RowPos>& rows, ValueId lo,
+                         ValueId hi, std::vector<RowPos>* out);
+
+  // Full-vector scan for a vid — Alg. 1 (used when no inverted index
+  // exists). Loads every data page in turn.
+  Status FindByValueId(ValueId vid, std::vector<RowPos>* out) {
+    return SearchEq(0, static_cast<RowPos>(dv_->row_count()), vid, out);
+  }
+
+  // Pages loaded through this iterator's lifetime (tests/benchmarks).
+  uint64_t pages_touched() const { return pages_touched_; }
+  // Pages the min/max summary let the search methods skip without loading.
+  uint64_t pages_pruned() const { return pages_pruned_; }
+
+  // Whether search methods consult the per-page min/max summary to skip
+  // pages whose [min,max] cannot overlap the predicate (§3.3). On by
+  // default; the summary only pays off when values cluster per page.
+  void set_use_summary(bool on) { use_summary_ = on; }
+
+ private:
+  // Pins the page holding `rpos` (releasing any previously pinned page) and
+  // returns the page-local packed view.
+  Status Reposition(RowPos rpos);
+
+  // True if the data page holding `rpos` may contain a vid in [lo, hi];
+  // loads the summary lazily on first use (never fails the query: if the
+  // summary cannot be loaded, every page "may" match).
+  bool MayContain(RowPos rpos, ValueId lo, ValueId hi);
+
+  PagedDataVector* dv_;
+  PageRef current_;
+  LogicalPageNo current_lpn_ = kInvalidPageNo;
+  RowPos page_first_row_ = 0;   // first row stored on the pinned page
+  uint64_t page_rows_ = 0;      // rows stored on the pinned page
+  uint64_t pages_touched_ = 0;
+  uint64_t pages_pruned_ = 0;
+  bool use_summary_ = true;
+  bool summary_checked_ = false;
+  std::shared_ptr<PageSummary> summary_;
+  PinnedResource summary_pin_;
+};
+
+}  // namespace payg
+
+#endif  // PAYG_PAGED_PAGED_DATA_VECTOR_H_

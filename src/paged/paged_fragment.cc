@@ -1,0 +1,350 @@
+#include "paged/paged_fragment.h"
+
+#include "storage/byte_stream.h"
+
+namespace payg {
+
+namespace {
+
+std::string MetaChainName(const std::string& name) { return name + ".pmeta"; }
+
+}  // namespace
+
+// Per-query reader over a paged fragment. Owns one iterator per paged
+// structure; all pins (current data-vector page, dictionary handle cache,
+// index cursor pages, numeric dictionary) release when the reader dies.
+class PagedReader : public FragmentReader {
+ public:
+  PagedReader(PagedFragment* frag, std::shared_ptr<Dictionary> num_dict,
+              PinnedResource num_dict_pin)
+      : frag_(frag),
+        dv_it_(frag->data_.get()),
+        num_dict_(std::move(num_dict)),
+        num_dict_pin_(std::move(num_dict_pin)) {
+    if (frag_->dict_ != nullptr) {
+      dict_it_ = std::make_unique<PagedDictionaryIterator>(frag_->dict_.get());
+    }
+  }
+
+  Result<ValueId> GetVid(RowPos rpos) override { return dv_it_.Get(rpos); }
+
+  Status MGetVids(RowPos from, RowPos to, std::vector<ValueId>* out) override {
+    return dv_it_.MGet(from, to, out);
+  }
+
+  Status SearchVidRange(RowPos from, RowPos to, ValueId lo, ValueId hi,
+                        std::vector<RowPos>* out) override {
+    return dv_it_.SearchRange(from, to, lo, hi, out);
+  }
+
+  Status SearchVidSet(RowPos from, RowPos to,
+                      const std::vector<ValueId>& sorted_vids,
+                      std::vector<RowPos>* out) override {
+    return dv_it_.SearchIn(from, to, sorted_vids, out);
+  }
+
+  Status FilterRows(const std::vector<RowPos>& rows, ValueId lo, ValueId hi,
+                    std::vector<RowPos>* out) override {
+    return dv_it_.SearchRowsRange(rows, lo, hi, out);
+  }
+
+  Status FindRows(ValueId vid, std::vector<RowPos>* out) override {
+    if (vid >= frag_->dict_size_) return Status::OutOfRange("value id");
+    // §8: under the deferred regime this may rebuild the index now.
+    PAYG_RETURN_IF_ERROR(frag_->MaybeRebuildIndex());
+    if (idx_it_ == nullptr) {
+      PagedInvertedIndex* index = frag_->index();
+      if (index != nullptr) {
+        idx_it_ = std::make_unique<PagedIndexIterator>(index);
+      }
+    }
+    if (idx_it_ != nullptr) {
+      // Alg. 5: use the paged inverted index when it exists.
+      return idx_it_->Lookup(vid, out);
+    }
+    // Alg. 1: sequential scan of the paged data vector.
+    return dv_it_.FindByValueId(vid, out);
+  }
+
+  Result<Value> GetValueForVid(ValueId vid) override {
+    if (vid >= frag_->dict_size_) return Status::OutOfRange("value id");
+    if (dict_it_ != nullptr) {
+      auto s = dict_it_->FindByValueId(vid);
+      if (!s.ok()) return s.status();
+      return Value(std::move(*s));
+    }
+    return num_dict_->GetValue(vid);
+  }
+
+  Result<ValueId> FindValueId(const Value& value) override {
+    if (dict_it_ != nullptr) {
+      return dict_it_->FindByValue(value.AsString());
+    }
+    auto v = num_dict_->FindValueId(value);
+    return v.has_value() ? *v : kInvalidValueId;
+  }
+
+  Result<ValueId> LowerBoundVid(const Value& value) override {
+    if (dict_it_ != nullptr) return dict_it_->LowerBound(value.AsString());
+    return num_dict_->LowerBound(value);
+  }
+
+  Result<ValueId> UpperBoundVid(const Value& value) override {
+    if (dict_it_ != nullptr) return dict_it_->UpperBound(value.AsString());
+    return num_dict_->UpperBound(value);
+  }
+
+ private:
+  PagedFragment* frag_;
+  PagedDataVectorIterator dv_it_;
+  std::unique_ptr<PagedDictionaryIterator> dict_it_;
+  std::unique_ptr<PagedIndexIterator> idx_it_;
+  std::shared_ptr<Dictionary> num_dict_;
+  PinnedResource num_dict_pin_;
+};
+
+Result<std::unique_ptr<PagedFragment>> PagedFragment::Build(
+    StorageManager* storage, ResourceManager* rm, PoolId pool,
+    const std::string& name, ValueType type,
+    const std::vector<Value>& sorted_dict_values,
+    const std::vector<ValueId>& vids, IndexMode index_mode,
+    uint32_t index_build_threshold) {
+  auto frag = std::unique_ptr<PagedFragment>(new PagedFragment());
+  frag->name_ = name;
+  frag->storage_ = storage;
+  frag->rm_ = rm;
+  frag->pool_ = pool;
+  frag->type_ = type;
+  frag->row_count_ = vids.size();
+  frag->dict_size_ = sorted_dict_values.size();
+  frag->index_mode_ = index_mode;
+  frag->index_build_threshold_ = index_build_threshold;
+
+  // Meta chain: fragment header plus, for numeric columns, the dictionary
+  // values themselves.
+  {
+    PAYG_ASSIGN_OR_RETURN(
+        auto mfile, storage->CreateChain(MetaChainName(name),
+                                         storage->options().page_size));
+    ChainByteWriter w(mfile.get());
+    w.PutU8(static_cast<uint8_t>(type));
+    w.PutU8(static_cast<uint8_t>(index_mode));
+    w.PutU64(vids.size());
+    w.PutU64(sorted_dict_values.size());
+    if (type != ValueType::kString) {
+      for (const Value& v : sorted_dict_values) {
+        if (type == ValueType::kInt64) {
+          w.PutI64(v.AsInt64());
+        } else {
+          w.PutDouble(v.AsDouble());
+        }
+      }
+    }
+    PAYG_RETURN_IF_ERROR(w.Finish());
+    PAYG_RETURN_IF_ERROR(mfile->Sync());
+  }
+
+  PAYG_ASSIGN_OR_RETURN(frag->data_,
+                        PagedDataVector::Build(storage, rm, pool, name, vids));
+
+  if (type == ValueType::kString) {
+    std::vector<std::string> strings;
+    strings.reserve(sorted_dict_values.size());
+    for (const Value& v : sorted_dict_values) strings.push_back(v.AsString());
+    PAYG_ASSIGN_OR_RETURN(
+        frag->dict_, PagedDictionary::Build(storage, rm, pool, name, strings));
+  }
+
+  if (index_mode == IndexMode::kEager) {
+    PAYG_ASSIGN_OR_RETURN(
+        frag->index_, PagedInvertedIndex::Build(storage, rm, pool, name, vids,
+                                                sorted_dict_values.size()));
+  }
+  // Under kDeferred nothing is built now: the index is non-critical data,
+  // recoverable from the data vector, rebuilt when the workload asks (§8).
+  return frag;
+}
+
+Result<std::unique_ptr<PagedFragment>> PagedFragment::Open(
+    StorageManager* storage, ResourceManager* rm, PoolId pool,
+    const std::string& name) {
+  auto frag = std::unique_ptr<PagedFragment>(new PagedFragment());
+  frag->name_ = name;
+  frag->storage_ = storage;
+  frag->rm_ = rm;
+  frag->pool_ = pool;
+
+  {
+    PAYG_ASSIGN_OR_RETURN(
+        auto mfile, storage->OpenChain(MetaChainName(name),
+                                       storage->options().page_size));
+    ChainByteReader r(mfile.get());
+    PAYG_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+    PAYG_ASSIGN_OR_RETURN(uint8_t index_mode, r.GetU8());
+    PAYG_ASSIGN_OR_RETURN(frag->row_count_, r.GetU64());
+    PAYG_ASSIGN_OR_RETURN(frag->dict_size_, r.GetU64());
+    frag->type_ = static_cast<ValueType>(type);
+    frag->index_mode_ = static_cast<IndexMode>(index_mode);
+  }
+
+  PAYG_ASSIGN_OR_RETURN(frag->data_,
+                        PagedDataVector::Open(storage, rm, pool, name));
+  if (frag->type_ == ValueType::kString) {
+    PAYG_ASSIGN_OR_RETURN(frag->dict_,
+                          PagedDictionary::Open(storage, rm, pool, name));
+  }
+  if (frag->index_mode_ == IndexMode::kEager) {
+    PAYG_ASSIGN_OR_RETURN(frag->index_,
+                          PagedInvertedIndex::Open(storage, rm, pool, name));
+  } else if (frag->index_mode_ == IndexMode::kDeferred) {
+    // A previous deferred rebuild may already have persisted the index.
+    auto idx = PagedInvertedIndex::Open(storage, rm, pool, name);
+    if (idx.ok()) frag->index_ = std::move(*idx);
+  }
+  return frag;
+}
+
+Result<std::shared_ptr<Dictionary>> PagedFragment::PinNumericDict(
+    PinnedResource* pin) {
+  PAYG_ASSERT(type_ != ValueType::kString);
+  {
+    std::lock_guard<std::mutex> lock(num_dict_mu_);
+    if (num_dict_ != nullptr) {
+      PinnedResource p = PinnedResource::TryPin(rm_, num_dict_rid_);
+      if (p.valid()) {
+        *pin = std::move(p);
+        return num_dict_;
+      }
+      rm_->Unregister(num_dict_rid_);
+      num_dict_ = nullptr;
+      num_dict_rid_ = kInvalidResourceId;
+    }
+  }
+
+  PAYG_ASSIGN_OR_RETURN(
+      auto mfile, storage_->OpenChain(MetaChainName(name_),
+                                      storage_->options().page_size));
+  ChainByteReader r(mfile.get());
+  PAYG_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+  (void)type;
+  PAYG_ASSIGN_OR_RETURN(uint8_t has_index, r.GetU8());
+  (void)has_index;
+  uint64_t rows, dict_size;
+  PAYG_ASSIGN_OR_RETURN(rows, r.GetU64());
+  (void)rows;
+  PAYG_ASSIGN_OR_RETURN(dict_size, r.GetU64());
+  std::vector<Value> values;
+  values.reserve(dict_size);
+  for (uint64_t i = 0; i < dict_size; ++i) {
+    if (type_ == ValueType::kInt64) {
+      PAYG_ASSIGN_OR_RETURN(int64_t v, r.GetI64());
+      values.emplace_back(v);
+    } else {
+      PAYG_ASSIGN_OR_RETURN(double v, r.GetDouble());
+      values.emplace_back(v);
+    }
+  }
+  auto dict = std::make_shared<Dictionary>(
+      Dictionary::FromSorted(type_, std::move(values)));
+
+  std::lock_guard<std::mutex> lock(num_dict_mu_);
+  if (num_dict_ != nullptr) {
+    PinnedResource p = PinnedResource::TryPin(rm_, num_dict_rid_);
+    if (p.valid()) {
+      *pin = std::move(p);
+      return num_dict_;
+    }
+    rm_->Unregister(num_dict_rid_);
+  }
+  const uint64_t gen = ++num_dict_gen_;
+  num_dict_ = std::move(dict);
+  num_dict_rid_ = rm_->RegisterPinned(
+      name_ + ".numdict", num_dict_->MemoryBytes(),
+      Disposition::kPagedAttribute, pool_, [this, gen] {
+        std::lock_guard<std::mutex> lk(num_dict_mu_);
+        if (num_dict_gen_ == gen) {
+          num_dict_ = nullptr;
+          num_dict_rid_ = kInvalidResourceId;
+        }
+      });
+  *pin = PinnedResource::Adopt(rm_, num_dict_rid_);
+  return num_dict_;
+}
+
+Status PagedFragment::MaybeRebuildIndex() {
+  if (index_mode_ != IndexMode::kDeferred) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    if (index_ != nullptr) return Status::OK();
+  }
+  if (point_lookups_.fetch_add(1) + 1 < index_build_threshold_) {
+    return Status::OK();
+  }
+  return RebuildIndexNow();
+}
+
+Status PagedFragment::RebuildIndexNow() {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  if (index_ != nullptr) return Status::OK();
+  // The index is rebuilt from critical data only: one full pass over the
+  // paged data vector (§8 — non-critical structures "can be recovered and
+  // rebuilt from critical data").
+  std::vector<ValueId> vids;
+  vids.reserve(row_count_);
+  PagedDataVectorIterator it(data_.get());
+  PAYG_RETURN_IF_ERROR(
+      it.MGet(0, static_cast<RowPos>(row_count_), &vids));
+  PAYG_ASSIGN_OR_RETURN(index_,
+                        PagedInvertedIndex::Build(storage_, rm_, pool_, name_,
+                                                  vids, dict_size_));
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FragmentReader>> PagedFragment::NewReader() {
+  std::shared_ptr<Dictionary> num_dict;
+  PinnedResource num_pin;
+  if (type_ != ValueType::kString) {
+    PAYG_ASSIGN_OR_RETURN(num_dict, PinNumericDict(&num_pin));
+  }
+  return std::unique_ptr<FragmentReader>(
+      new PagedReader(this, std::move(num_dict), std::move(num_pin)));
+}
+
+void PagedFragment::Unload() {
+  if (data_ != nullptr) data_->Unload();
+  if (dict_ != nullptr) dict_->Unload();
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    if (index_ != nullptr) index_->Unload();
+  }
+  std::lock_guard<std::mutex> lock(num_dict_mu_);
+  if (num_dict_ != nullptr) {
+    rm_->Unregister(num_dict_rid_);
+    num_dict_ = nullptr;
+    num_dict_rid_ = kInvalidResourceId;
+  }
+}
+
+uint64_t PagedFragment::ResidentBytes() const {
+  uint64_t bytes = 0;
+  if (data_ != nullptr) {
+    bytes += data_->cache()->loaded_page_count() *
+             storage_->options().page_size;
+  }
+  if (dict_ != nullptr) {
+    bytes += dict_->cache()->loaded_page_count() *
+             storage_->options().dict_page_size;
+  }
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    if (index_ != nullptr) {
+      bytes += index_->cache()->loaded_page_count() *
+               storage_->options().page_size;
+    }
+  }
+  std::lock_guard<std::mutex> lock(num_dict_mu_);
+  if (num_dict_ != nullptr) bytes += num_dict_->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace payg

@@ -1,0 +1,127 @@
+#ifndef PAYG_PAGED_PAGED_FRAGMENT_H_
+#define PAYG_PAGED_PAGED_FRAGMENT_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "buffer/resource_manager.h"
+#include "columnar/dictionary.h"
+#include "columnar/fragment.h"
+#include "paged/paged_data_vector.h"
+#include "paged/paged_dictionary.h"
+#include "paged/paged_inverted_index.h"
+
+namespace payg {
+
+// Main fragment of a *page loadable* column: its data vector, dictionary and
+// optional inverted index are all loaded and evicted one page at a time.
+//
+// String columns use the paged dictionary of §3.2. Numeric dictionaries are
+// small (the paper pages dictionaries "for data types for which the memory
+// footprint is noticeable — CHAR and VARCHAR"); they are persisted in the
+// fragment's meta chain and loaded whole on first access, registered as a
+// single paged-attribute resource.
+class PagedFragment : public MainFragment {
+ public:
+  // How the optional inverted index is materialized.
+  enum class IndexMode : uint8_t {
+    kNone = 0,      // never build one
+    kEager = 1,     // built during Build/delta merge (classic behaviour)
+    kDeferred = 2,  // §8: rebuilt lazily from the data vector, driven by
+                    // the query workload
+  };
+
+  static Result<std::unique_ptr<PagedFragment>> Build(
+      StorageManager* storage, ResourceManager* rm, PoolId pool,
+      const std::string& name, ValueType type,
+      const std::vector<Value>& sorted_dict_values,
+      const std::vector<ValueId>& vids, bool with_index) {
+    return Build(storage, rm, pool, name, type, sorted_dict_values, vids,
+                 with_index ? IndexMode::kEager : IndexMode::kNone,
+                 /*index_build_threshold=*/1);
+  }
+
+  static Result<std::unique_ptr<PagedFragment>> Build(
+      StorageManager* storage, ResourceManager* rm, PoolId pool,
+      const std::string& name, ValueType type,
+      const std::vector<Value>& sorted_dict_values,
+      const std::vector<ValueId>& vids, IndexMode index_mode,
+      uint32_t index_build_threshold);
+
+  static Result<std::unique_ptr<PagedFragment>> Open(StorageManager* storage,
+                                                     ResourceManager* rm,
+                                                     PoolId pool,
+                                                     const std::string& name);
+
+  ~PagedFragment() override { Unload(); }
+
+  uint64_t row_count() const override { return row_count_; }
+  uint64_t dict_size() const override { return dict_size_; }
+  ValueType type() const override { return type_; }
+  bool has_index() const override {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    return index_ != nullptr;
+  }
+  bool is_paged() const override { return true; }
+
+  IndexMode index_mode() const { return index_mode_; }
+  // FindRows calls served so far (drives the deferred rebuild decision).
+  uint64_t point_lookup_count() const { return point_lookups_.load(); }
+
+  // §8: rebuilds the inverted index from the paged data vector and persists
+  // it, exactly as the delta merge would have. Idempotent; called
+  // automatically by readers once the lookup threshold is reached.
+  Status RebuildIndexNow();
+
+  Result<std::unique_ptr<FragmentReader>> NewReader() override;
+  void Unload() override;
+  uint64_t ResidentBytes() const override;
+
+  PagedDataVector* data_vector() { return data_.get(); }
+  PagedDictionary* paged_dictionary() { return dict_.get(); }
+  PagedInvertedIndex* inverted_index() { return index_.get(); }
+
+ private:
+  friend class PagedReader;
+
+  PagedFragment() = default;
+
+  // Loads (or returns) the resident numeric dictionary, pinned.
+  Result<std::shared_ptr<Dictionary>> PinNumericDict(PinnedResource* pin);
+
+  std::string name_;
+  StorageManager* storage_ = nullptr;
+  ResourceManager* rm_ = nullptr;
+  PoolId pool_ = PoolId::kPagedPool;
+  ValueType type_ = ValueType::kInt64;
+  uint64_t row_count_ = 0;
+  uint64_t dict_size_ = 0;
+
+  // Called by readers on every FindRows; triggers the deferred rebuild.
+  Status MaybeRebuildIndex();
+  // Index access for readers under the deferred regime (may be null).
+  PagedInvertedIndex* index() const {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    return index_.get();
+  }
+
+  std::unique_ptr<PagedDataVector> data_;
+  std::unique_ptr<PagedDictionary> dict_;    // string columns
+  mutable std::mutex index_mu_;
+  std::unique_ptr<PagedInvertedIndex> index_;
+  IndexMode index_mode_ = IndexMode::kNone;
+  uint32_t index_build_threshold_ = 1;
+  std::atomic<uint64_t> point_lookups_{0};
+
+  mutable std::mutex num_dict_mu_;
+  std::shared_ptr<Dictionary> num_dict_;     // numeric columns
+  ResourceId num_dict_rid_ = kInvalidResourceId;
+  uint64_t num_dict_gen_ = 0;
+};
+
+}  // namespace payg
+
+#endif  // PAYG_PAGED_PAGED_FRAGMENT_H_

@@ -1,0 +1,97 @@
+#include "storage/byte_stream.h"
+
+#include <cstring>
+
+namespace payg {
+
+void ChainByteWriter::PutBytes(const void* data, size_t n) {
+  const uint8_t* src = static_cast<const uint8_t*>(data);
+  while (n > 0) {
+    uint32_t room = page_.capacity() - fill_;
+    if (room == 0) {
+      page_.set_payload_size(fill_);
+      auto r = file_->AppendPage(&page_);
+      if (!r.ok() && deferred_.ok()) deferred_ = r.status();
+      fill_ = 0;
+      continue;
+    }
+    uint32_t take = static_cast<uint32_t>(std::min<size_t>(n, room));
+    std::memcpy(page_.payload() + fill_, src, take);
+    fill_ += take;
+    src += take;
+    n -= take;
+    bytes_written_ += take;
+  }
+}
+
+Status ChainByteWriter::Finish() {
+  if (!deferred_.ok()) return deferred_;
+  if (fill_ > 0 || bytes_written_ == 0) {
+    page_.set_payload_size(fill_);
+    auto r = file_->AppendPage(&page_);
+    if (!r.ok()) return r.status();
+    fill_ = 0;
+  }
+  return Status::OK();
+}
+
+Status ChainByteReader::GetBytes(void* out, size_t n) {
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  while (n > 0) {
+    if (pos_ == avail_) {
+      if (next_page_ >= file_->page_count()) {
+        return Status::OutOfRange("byte stream exhausted");
+      }
+      PAYG_RETURN_IF_ERROR(file_->ReadPage(next_page_++, &page_));
+      pos_ = 0;
+      avail_ = page_.payload_size();
+      continue;
+    }
+    uint32_t take = static_cast<uint32_t>(std::min<size_t>(n, avail_ - pos_));
+    std::memcpy(dst, page_.payload() + pos_, take);
+    pos_ += take;
+    dst += take;
+    n -= take;
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> ChainByteReader::GetU8() {
+  uint8_t v;
+  PAYG_RETURN_IF_ERROR(GetBytes(&v, sizeof(v)));
+  return v;
+}
+
+Result<uint32_t> ChainByteReader::GetU32() {
+  uint32_t v;
+  PAYG_RETURN_IF_ERROR(GetBytes(&v, sizeof(v)));
+  return v;
+}
+
+Result<uint64_t> ChainByteReader::GetU64() {
+  uint64_t v;
+  PAYG_RETURN_IF_ERROR(GetBytes(&v, sizeof(v)));
+  return v;
+}
+
+Result<int64_t> ChainByteReader::GetI64() {
+  int64_t v;
+  PAYG_RETURN_IF_ERROR(GetBytes(&v, sizeof(v)));
+  return v;
+}
+
+Result<double> ChainByteReader::GetDouble() {
+  double v;
+  PAYG_RETURN_IF_ERROR(GetBytes(&v, sizeof(v)));
+  return v;
+}
+
+Result<std::string> ChainByteReader::GetString() {
+  auto len = GetU64();
+  if (!len.ok()) return len.status();
+  std::string s(*len, '\0');
+  PAYG_RETURN_IF_ERROR(GetBytes(s.data(), s.size()));
+  return s;
+}
+
+}  // namespace payg

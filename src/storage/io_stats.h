@@ -1,0 +1,27 @@
+#ifndef PAYG_STORAGE_IO_STATS_H_
+#define PAYG_STORAGE_IO_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace payg {
+
+// Counters for physical page traffic. Shared by all page files of one
+// StorageManager; benchmarks read these to report load behaviour.
+struct IoStats {
+  std::atomic<uint64_t> pages_read{0};
+  std::atomic<uint64_t> pages_written{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+
+  void Reset() {
+    pages_read = 0;
+    pages_written = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+  }
+};
+
+}  // namespace payg
+
+#endif  // PAYG_STORAGE_IO_STATS_H_

@@ -1,0 +1,15 @@
+#include "storage/page.h"
+
+#include "common/crc32.h"
+
+namespace payg {
+
+void Page::SealChecksum() {
+  header()->crc = Crc32c(payload(), header()->payload_size);
+}
+
+bool Page::VerifyChecksum() const {
+  return header()->crc == Crc32c(payload(), header()->payload_size);
+}
+
+}  // namespace payg

@@ -1,0 +1,139 @@
+#include "storage/page_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "common/stopwatch.h"
+
+namespace payg {
+
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+PageFile::PageFile(std::string path, int fd, uint32_t page_size,
+                   uint64_t page_count, const StorageOptions& opts,
+                   IoStats* stats)
+    : path_(std::move(path)),
+      fd_(fd),
+      page_size_(page_size),
+      page_count_(page_count),
+      opts_(opts),
+      stats_(stats) {}
+
+PageFile::~PageFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<PageFile>> PageFile::Create(const std::string& path,
+                                                   uint32_t page_size,
+                                                   const StorageOptions& opts,
+                                                   IoStats* stats) {
+  if (page_size <= sizeof(PageHeader)) {
+    return Status::InvalidArgument("page size too small");
+  }
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError(Errno("create", path));
+  return std::unique_ptr<PageFile>(
+      new PageFile(path, fd, page_size, 0, opts, stats));
+}
+
+Result<std::unique_ptr<PageFile>> PageFile::Open(const std::string& path,
+                                                 uint32_t page_size,
+                                                 const StorageOptions& opts,
+                                                 IoStats* stats) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) return Status::IOError(Errno("open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError(Errno("fstat", path));
+  }
+  if (st.st_size % page_size != 0) {
+    ::close(fd);
+    return Status::Corruption("file size is not a multiple of page size: " +
+                              path);
+  }
+  uint64_t count = static_cast<uint64_t>(st.st_size) / page_size;
+  return std::unique_ptr<PageFile>(
+      new PageFile(path, fd, page_size, count, opts, stats));
+}
+
+Result<LogicalPageNo> PageFile::AppendPage(Page* page) {
+  LogicalPageNo lpn = page_count_.fetch_add(1);
+  Status s = WritePage(lpn, page);
+  if (!s.ok()) return s;
+  return lpn;
+}
+
+Status PageFile::WritePage(LogicalPageNo lpn, Page* page) {
+  PAYG_ASSERT(page->size() == page_size_);
+  page->header()->logical_page_no = lpn;
+  page->SealChecksum();
+  off_t offset = static_cast<off_t>(lpn) * page_size_;
+  ssize_t n = ::pwrite(fd_, page->raw(), page_size_, offset);
+  if (n != static_cast<ssize_t>(page_size_)) {
+    return Status::IOError(Errno("pwrite", path_));
+  }
+  if (stats_ != nullptr) {
+    stats_->pages_written.fetch_add(1, std::memory_order_relaxed);
+    stats_->bytes_written.fetch_add(page_size_, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status PageFile::ReadPage(LogicalPageNo lpn, Page* page) const {
+  PAYG_ASSERT(page->size() == page_size_);
+  if (lpn >= page_count_.load(std::memory_order_acquire)) {
+    return Status::OutOfRange("page " + std::to_string(lpn) +
+                              " beyond end of chain " + path_);
+  }
+  if (opts_.simulated_read_latency_us > 0) {
+    if (opts_.simulated_read_latency_us >= 1000) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(opts_.simulated_read_latency_us));
+    } else {
+      // OS sleeps round sub-millisecond waits up to scheduler granularity;
+      // spin for precision.
+      SpinWaitMicros(opts_.simulated_read_latency_us);
+    }
+  }
+  off_t offset = static_cast<off_t>(lpn) * page_size_;
+  ssize_t n = ::pread(fd_, page->raw(), page_size_, offset);
+  if (n != static_cast<ssize_t>(page_size_)) {
+    return Status::IOError(Errno("pread", path_));
+  }
+  if (page->header()->magic != PageHeader::kMagic) {
+    return Status::Corruption("bad page magic at lpn " + std::to_string(lpn) +
+                              " in " + path_);
+  }
+  if (page->header()->logical_page_no != lpn) {
+    return Status::Corruption("page number mismatch at lpn " +
+                              std::to_string(lpn) + " in " + path_);
+  }
+  if (opts_.verify_checksums && !page->VerifyChecksum()) {
+    return Status::Corruption("checksum mismatch at lpn " +
+                              std::to_string(lpn) + " in " + path_);
+  }
+  if (stats_ != nullptr) {
+    stats_->pages_read.fetch_add(1, std::memory_order_relaxed);
+    stats_->bytes_read.fetch_add(page_size_, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status PageFile::Sync() {
+  if (::fsync(fd_) != 0) return Status::IOError(Errno("fsync", path_));
+  return Status::OK();
+}
+
+}  // namespace payg

@@ -1,0 +1,77 @@
+#ifndef PAYG_STORAGE_PAGE_FILE_H_
+#define PAYG_STORAGE_PAGE_FILE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "storage/storage_options.h"
+
+namespace payg {
+
+// A chain of fixed-size pages backed by one file. The logical page number of
+// a page is its index in the file (offset = lpn * page_size), which makes
+// "find the page holding chunk k" a pure arithmetic operation — the property
+// the paper's iterators rely on.
+//
+// Thread-safe for concurrent reads and appends (pread/pwrite on distinct
+// offsets; the append cursor is atomic).
+class PageFile {
+ public:
+  ~PageFile();
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  // Creates a new (empty) page file, truncating any existing file at `path`.
+  static Result<std::unique_ptr<PageFile>> Create(const std::string& path,
+                                                  uint32_t page_size,
+                                                  const StorageOptions& opts,
+                                                  IoStats* stats);
+
+  // Opens an existing page file; the on-disk size must be a multiple of
+  // `page_size`.
+  static Result<std::unique_ptr<PageFile>> Open(const std::string& path,
+                                                uint32_t page_size,
+                                                const StorageOptions& opts,
+                                                IoStats* stats);
+
+  // Appends `page` to the end of the chain and returns its logical page
+  // number. Stamps the header's logical_page_no and checksum.
+  Result<LogicalPageNo> AppendPage(Page* page);
+
+  // Writes `page` at an existing logical page number (rebuild paths).
+  Status WritePage(LogicalPageNo lpn, Page* page);
+
+  // Reads the page at `lpn` into `page` (whose size must match), verifying
+  // magic and checksum, and applying the configured simulated read latency.
+  Status ReadPage(LogicalPageNo lpn, Page* page) const;
+
+  // Number of pages currently in the chain.
+  uint64_t page_count() const { return page_count_; }
+
+  uint32_t page_size() const { return page_size_; }
+  const std::string& path() const { return path_; }
+
+  // Flushes file contents to stable storage.
+  Status Sync();
+
+ private:
+  PageFile(std::string path, int fd, uint32_t page_size, uint64_t page_count,
+           const StorageOptions& opts, IoStats* stats);
+
+  std::string path_;
+  int fd_;
+  uint32_t page_size_;
+  std::atomic<uint64_t> page_count_;
+  StorageOptions opts_;
+  IoStats* stats_;  // not owned; may be null
+};
+
+}  // namespace payg
+
+#endif  // PAYG_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,61 @@
+#include "storage/storage_manager.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace payg {
+
+Result<std::unique_ptr<StorageManager>> StorageManager::Open(
+    const std::string& directory, const StorageOptions& opts) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::IOError("create_directories " + directory + ": " +
+                           ec.message());
+  }
+  return std::unique_ptr<StorageManager>(new StorageManager(directory, opts));
+}
+
+std::string StorageManager::PathFor(const std::string& name) const {
+  return directory_ + "/" + name;
+}
+
+Result<std::unique_ptr<PageFile>> StorageManager::CreateChain(
+    const std::string& name, uint32_t page_size) {
+  return PageFile::Create(PathFor(name), page_size, opts_, &io_stats_);
+}
+
+Result<std::unique_ptr<PageFile>> StorageManager::OpenChain(
+    const std::string& name, uint32_t page_size) {
+  return PageFile::Open(PathFor(name), page_size, opts_, &io_stats_);
+}
+
+Result<std::unique_ptr<PageFile>> StorageManager::CreateNonCriticalChain(
+    const std::string& name, uint32_t page_size) {
+  StorageOptions opts = opts_;
+  if (opts.scm_for_noncritical) {
+    opts.simulated_read_latency_us = opts.scm_read_latency_us;
+  }
+  return PageFile::Create(PathFor(name), page_size, opts, &io_stats_);
+}
+
+Result<std::unique_ptr<PageFile>> StorageManager::OpenNonCriticalChain(
+    const std::string& name, uint32_t page_size) {
+  StorageOptions opts = opts_;
+  if (opts.scm_for_noncritical) {
+    opts.simulated_read_latency_us = opts.scm_read_latency_us;
+  }
+  return PageFile::Open(PathFor(name), page_size, opts, &io_stats_);
+}
+
+Status StorageManager::DropChain(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::remove(PathFor(name), ec);
+  if (ec) {
+    return Status::IOError("remove " + PathFor(name) + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace payg

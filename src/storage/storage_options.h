@@ -1,0 +1,41 @@
+#ifndef PAYG_STORAGE_STORAGE_OPTIONS_H_
+#define PAYG_STORAGE_STORAGE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace payg {
+
+// Tunables for the page persistence layer.
+struct StorageOptions {
+  // Page size for data-vector and inverted-index chains. The paper stores an
+  // integral number of 64-value chunks per page; 256 KiB is a good default
+  // at reproduction scale.
+  uint32_t page_size = 256 * 1024;
+
+  // Dictionary chains use larger pages (the paper uses 1 MiB).
+  uint32_t dict_page_size = 1024 * 1024;
+
+  // Injected latency per physical page read, in microseconds. The paper
+  // measures real cold reads from enterprise storage; inside a container the
+  // OS page cache would make re-reads free, so benchmarks model the I/O cost
+  // explicitly. Zero disables the simulation (unit tests).
+  uint32_t simulated_read_latency_us = 0;
+
+  // Verify page checksums on every read. Disabled only by fault-injection
+  // tests that want to observe corruption handling separately.
+  bool verify_checksums = true;
+
+  // §8 (Storage Class Memory): when true, chains holding *non-critical*
+  // structures — the dictionary helper indexes, the inverted index, the
+  // data-vector min/max summary; everything rebuildable from critical data —
+  // are read with `scm_read_latency_us` instead of the disk latency,
+  // modeling their placement on byte-addressable SCM ("read and write
+  // latencies only within an order of magnitude of DRAM").
+  bool scm_for_noncritical = false;
+  uint32_t scm_read_latency_us = 2;
+};
+
+}  // namespace payg
+
+#endif  // PAYG_STORAGE_STORAGE_OPTIONS_H_

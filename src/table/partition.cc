@@ -1,0 +1,238 @@
+#include "table/partition.h"
+
+#include <algorithm>
+#include <map>
+
+#include "paged/fragment_factory.h"
+
+namespace payg {
+
+Partition::Partition(const TableSchema* schema, uint32_t partition_id,
+                     bool cold, StorageManager* storage, ResourceManager* rm)
+    : schema_(schema),
+      id_(partition_id),
+      cold_(cold),
+      storage_(storage),
+      rm_(rm) {
+  mains_.resize(schema_->columns.size());
+  for (const ColumnSchema& col : schema_->columns) {
+    auto delta = std::make_unique<DeltaFragment>(col.type);
+    // Columns with an inverted index keep one on the delta fragment too
+    // (§2: each fragment may have a memory resident inverted index).
+    if (col.with_index) delta->EnableIndex();
+    deltas_.push_back(std::move(delta));
+  }
+}
+
+Result<std::unique_ptr<Partition>> Partition::OpenExisting(
+    const TableSchema* schema, uint32_t partition_id, bool cold,
+    StorageManager* storage, ResourceManager* rm, uint64_t merge_generation,
+    uint64_t main_rows) {
+  auto part = std::make_unique<Partition>(schema, partition_id, cold, storage,
+                                          rm);
+  part->merge_generation_ = merge_generation;
+  part->main_rows_ = main_rows;
+  part->deleted_.assign(main_rows, 0);
+  for (size_t c = 0; c < schema->columns.size(); ++c) {
+    const ColumnSchema& cs = schema->columns[c];
+    FragmentSpec spec;
+    spec.page_loadable = cs.page_loadable;
+    spec.with_index = cs.with_index;
+    spec.defer_index = cs.defer_index;
+    spec.pool = cold ? PoolId::kColdPagedPool : PoolId::kPagedPool;
+    PAYG_ASSIGN_OR_RETURN(
+        part->mains_[c],
+        OpenMainFragment(storage, rm,
+                         part->FragmentName(static_cast<int>(c)), spec));
+    if (part->mains_[c]->row_count() != main_rows) {
+      return Status::Corruption("catalog row count mismatch in " +
+                                part->FragmentName(static_cast<int>(c)));
+    }
+  }
+  return part;
+}
+
+uint64_t Partition::delta_row_count() const {
+  return deltas_.empty() ? 0 : deltas_[0]->row_count();
+}
+
+Status Partition::Insert(const std::vector<Value>& row) {
+  if (row.size() != schema_->columns.size()) {
+    return Status::InvalidArgument("row width does not match schema");
+  }
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (row[c].type() != schema_->columns[c].type) {
+      return Status::InvalidArgument("type mismatch in column " +
+                                     schema_->columns[c].name);
+    }
+  }
+  for (size_t c = 0; c < row.size(); ++c) {
+    deltas_[c]->Append(row[c]);
+  }
+  deleted_.push_back(0);
+  return Status::OK();
+}
+
+Status Partition::BulkLoadColumn(int col, const std::vector<Value>& sorted_dict,
+                                 const std::vector<ValueId>& vids) {
+  if (col < 0 || static_cast<size_t>(col) >= schema_->columns.size()) {
+    return Status::InvalidArgument("column index out of range");
+  }
+  if (delta_row_count() > 0) {
+    return Status::FailedPrecondition("bulk load into a non-empty delta");
+  }
+  if (main_rows_ != 0 && main_rows_ != vids.size()) {
+    return Status::InvalidArgument("bulk-loaded columns differ in row count");
+  }
+  const ColumnSchema& cs = schema_->columns[col];
+  FragmentSpec spec;
+  spec.page_loadable = cs.page_loadable;
+  spec.with_index = cs.with_index;
+  spec.defer_index = cs.defer_index;
+  spec.pool = cold_ ? PoolId::kColdPagedPool : PoolId::kPagedPool;
+  PAYG_ASSIGN_OR_RETURN(
+      mains_[col], BuildMainFragment(storage_, rm_, FragmentName(col),
+                                     cs.type, sorted_dict, vids, spec));
+  if (main_rows_ == 0) {
+    main_rows_ = vids.size();
+    deleted_.assign(main_rows_, 0);
+    deleted_count_ = 0;
+  }
+  return Status::OK();
+}
+
+Status Partition::MarkDeleted(RowPos rpos) {
+  if (rpos >= row_count()) return Status::OutOfRange("row position");
+  if (deleted_[rpos] == 0) {
+    deleted_[rpos] = 1;
+    ++deleted_count_;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Value>> Partition::GetRow(RowPos rpos) {
+  if (rpos >= row_count()) return Status::OutOfRange("row position");
+  std::vector<Value> row;
+  row.reserve(schema_->columns.size());
+  if (rpos < main_rows_) {
+    for (size_t c = 0; c < schema_->columns.size(); ++c) {
+      PAYG_ASSIGN_OR_RETURN(auto reader, mains_[c]->NewReader());
+      PAYG_ASSIGN_OR_RETURN(ValueId vid, reader->GetVid(rpos));
+      PAYG_ASSIGN_OR_RETURN(Value v, reader->GetValueForVid(vid));
+      row.push_back(std::move(v));
+    }
+  } else {
+    RowPos drow = rpos - static_cast<RowPos>(main_rows_);
+    for (size_t c = 0; c < schema_->columns.size(); ++c) {
+      row.push_back(deltas_[c]->GetValue(deltas_[c]->GetVid(drow)));
+    }
+  }
+  return row;
+}
+
+std::string Partition::FragmentName(int col) const {
+  return schema_->name + "_p" + std::to_string(id_) + "_c" +
+         std::to_string(col) + "_g" + std::to_string(merge_generation_);
+}
+
+Status Partition::Merge() {
+  const uint64_t total = row_count();
+  const uint64_t new_rows = total - deleted_count_;
+  // Chain names of the generation being replaced, vacuumed after the swap.
+  std::vector<std::string> old_names;
+  for (size_t c = 0; c < schema_->columns.size(); ++c) {
+    if (mains_[c] != nullptr) {
+      old_names.push_back(FragmentName(static_cast<int>(c)));
+    }
+  }
+  ++merge_generation_;
+
+  std::vector<std::unique_ptr<MainFragment>> new_mains(
+      schema_->columns.size());
+  for (size_t c = 0; c < schema_->columns.size(); ++c) {
+    const ColumnSchema& col = schema_->columns[c];
+
+    // Materialize the surviving values of this column: old main rows first,
+    // then delta rows, skipping deleted rows.
+    std::vector<Value> values;
+    values.reserve(new_rows);
+    if (mains_[c] != nullptr && main_rows_ > 0) {
+      PAYG_ASSIGN_OR_RETURN(auto reader, mains_[c]->NewReader());
+      std::vector<ValueId> vids;
+      PAYG_RETURN_IF_ERROR(
+          reader->MGetVids(0, static_cast<RowPos>(main_rows_), &vids));
+      // Materialize each distinct vid once.
+      std::map<ValueId, Value> memo;
+      for (uint64_t r = 0; r < main_rows_; ++r) {
+        if (deleted_[r] != 0) continue;
+        auto it = memo.find(vids[r]);
+        if (it == memo.end()) {
+          PAYG_ASSIGN_OR_RETURN(Value v, reader->GetValueForVid(vids[r]));
+          it = memo.emplace(vids[r], std::move(v)).first;
+        }
+        values.push_back(it->second);
+      }
+    }
+    const DeltaFragment& delta = *deltas_[c];
+    for (uint64_t d = 0; d < delta.row_count(); ++d) {
+      if (deleted_[main_rows_ + d] != 0) continue;
+      values.push_back(delta.GetValue(delta.GetVid(static_cast<RowPos>(d))));
+    }
+
+    // Sorted unique dictionary; vids assigned in value order (§2: the main
+    // dictionary is order-preserving, built during delta merge).
+    std::vector<Value> dict_values = values;
+    std::sort(dict_values.begin(), dict_values.end(),
+              [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+    dict_values.erase(std::unique(dict_values.begin(), dict_values.end()),
+                      dict_values.end());
+    std::vector<ValueId> vids;
+    vids.reserve(values.size());
+    for (const Value& v : values) {
+      auto it = std::lower_bound(
+          dict_values.begin(), dict_values.end(), v,
+          [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+      vids.push_back(static_cast<ValueId>(it - dict_values.begin()));
+    }
+
+    FragmentSpec spec;
+    spec.page_loadable = col.page_loadable;
+    spec.with_index = col.with_index;
+    spec.defer_index = col.defer_index;
+    spec.pool = cold_ ? PoolId::kColdPagedPool : PoolId::kPagedPool;
+    PAYG_ASSIGN_OR_RETURN(
+        new_mains[c],
+        BuildMainFragment(storage_, rm_, FragmentName(static_cast<int>(c)),
+                          col.type, dict_values, vids, spec));
+  }
+
+  // Atomic swap: new mains in, deltas reset, visibility bitmap compacted.
+  mains_ = std::move(new_mains);
+  for (auto& delta : deltas_) delta->Clear();
+  main_rows_ = new_rows;
+  deleted_.assign(new_rows, 0);
+  deleted_count_ = 0;
+  // Vacuum the replaced generation's chains (the old fragments were
+  // destroyed by the swap above, closing their files).
+  for (const std::string& name : old_names) {
+    DropFragmentChains(storage_, name);
+  }
+  return Status::OK();
+}
+
+void Partition::UnloadAll() {
+  for (auto& main : mains_) {
+    if (main != nullptr) main->Unload();
+  }
+}
+
+uint64_t Partition::ResidentBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& main : mains_) {
+    if (main != nullptr) bytes += main->ResidentBytes();
+  }
+  for (const auto& delta : deltas_) bytes += delta->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace payg

@@ -1,0 +1,687 @@
+#include "table/table.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+namespace payg {
+
+Table::Table(TableSchema schema, StorageManager* storage, ResourceManager* rm)
+    : schema_(std::move(schema)), storage_(storage), rm_(rm) {
+  // Partition 0 is the hot partition; aging-aware tables start as a
+  // partitioned table with only the hot partition (§4.2).
+  partitions_.push_back(
+      std::make_unique<Partition>(&schema_, 0, /*cold=*/false, storage_, rm_));
+}
+
+Result<std::unique_ptr<Table>> Table::OpenExisting(
+    TableSchema schema, StorageManager* storage, ResourceManager* rm,
+    const std::vector<PartitionManifest>& manifests) {
+  if (manifests.empty() || manifests[0].cold) {
+    return Status::InvalidArgument("manifests must start with the hot "
+                                   "partition");
+  }
+  auto table = std::make_unique<Table>(std::move(schema), storage, rm);
+  table->partitions_.clear();
+  for (uint32_t i = 0; i < manifests.size(); ++i) {
+    PAYG_ASSIGN_OR_RETURN(
+        auto part,
+        Partition::OpenExisting(&table->schema_, i, manifests[i].cold,
+                                storage, rm, manifests[i].merge_generation,
+                                manifests[i].main_rows));
+    table->partitions_.push_back(std::move(part));
+  }
+  return table;
+}
+
+std::vector<PartitionManifest> Table::Manifests() const {
+  std::vector<PartitionManifest> out;
+  for (const auto& part : partitions_) {
+    out.push_back(PartitionManifest{part->cold(), part->merge_generation(),
+                                    part->main_row_count()});
+  }
+  return out;
+}
+
+Status Table::Insert(const std::vector<Value>& row) {
+  return partitions_[0]->Insert(row);
+}
+
+Status Table::AddColdPartition() {
+  partitions_.push_back(std::make_unique<Partition>(
+      &schema_, static_cast<uint32_t>(partitions_.size()), /*cold=*/true,
+      storage_, rm_));
+  return Status::OK();
+}
+
+Result<uint64_t> Table::AgeRows(const Value& threshold) {
+  if (schema_.temperature_column < 0) {
+    return Status::FailedPrecondition("table has no temperature column");
+  }
+  if (partitions_.size() < 2) {
+    return Status::FailedPrecondition(
+        "add a cold partition before aging rows");
+  }
+  Partition* hot_part = partitions_[0].get();
+  Partition* cold_part = partitions_.back().get();
+  const int temp_col = schema_.temperature_column;
+
+  // Find hot rows whose temperature is <= threshold.
+  std::vector<RowPos> victims;
+  PAYG_RETURN_IF_ERROR(FindMatchesRange(
+      hot_part, temp_col,
+      schema_.columns[temp_col].type == ValueType::kInt64
+          ? Value(std::numeric_limits<int64_t>::min())
+          : (schema_.columns[temp_col].type == ValueType::kDouble
+                 ? Value(-std::numeric_limits<double>::infinity())
+                 : Value(std::string())),
+      threshold, &victims));
+
+  // The move is ordinary DML (§4.2): insert into the cold delta, delete
+  // from hot. No reorganisation of existing data happens here.
+  for (RowPos r : victims) {
+    PAYG_ASSIGN_OR_RETURN(std::vector<Value> row, hot_part->GetRow(r));
+    PAYG_RETURN_IF_ERROR(cold_part->Insert(row));
+    PAYG_RETURN_IF_ERROR(hot_part->MarkDeleted(r));
+  }
+  return static_cast<uint64_t>(victims.size());
+}
+
+Status Table::MergeAll() {
+  for (auto& part : partitions_) {
+    PAYG_RETURN_IF_ERROR(part->Merge());
+  }
+  return Status::OK();
+}
+
+uint64_t Table::row_count() const {
+  uint64_t n = 0;
+  for (const auto& part : partitions_) n += part->row_count();
+  return n;
+}
+
+uint64_t Table::visible_row_count() const {
+  uint64_t n = 0;
+  for (const auto& part : partitions_) n += part->visible_row_count();
+  return n;
+}
+
+Result<std::vector<int>> Table::ResolveColumns(
+    const std::vector<std::string>& names) const {
+  std::vector<int> cols;
+  if (names.empty()) {
+    // SELECT *.
+    for (size_t i = 0; i < schema_.columns.size(); ++i) {
+      cols.push_back(static_cast<int>(i));
+    }
+    return cols;
+  }
+  for (const std::string& name : names) {
+    int idx = schema_.ColumnIndex(name);
+    if (idx < 0) return Status::NotFound("no such column: " + name);
+    cols.push_back(idx);
+  }
+  return cols;
+}
+
+Status Table::FindMatches(Partition* part, int col, const Value& value,
+                          std::vector<RowPos>* out) {
+  std::vector<RowPos> rows;
+  // Main fragment: dictionary probe, then inverted index (Alg. 5) or data
+  // vector scan (Alg. 1).
+  if (part->main(col) != nullptr && part->main_row_count() > 0) {
+    PAYG_ASSIGN_OR_RETURN(auto reader, part->main(col)->NewReader());
+    PAYG_ASSIGN_OR_RETURN(ValueId vid, reader->FindValueId(value));
+    if (vid != kInvalidValueId) {
+      PAYG_RETURN_IF_ERROR(reader->FindRows(vid, &rows));
+    }
+  }
+  // Delta fragment.
+  std::vector<RowPos> delta_rows;
+  part->delta(col)->FindRows(value, &delta_rows);
+  const RowPos base = static_cast<RowPos>(part->main_row_count());
+  for (RowPos r : delta_rows) rows.push_back(base + r);
+  // Visibility.
+  for (RowPos r : rows) {
+    if (part->IsVisible(r)) out->push_back(r);
+  }
+  return Status::OK();
+}
+
+Status Table::FindMatchesRange(Partition* part, int col, const Value& lo,
+                               const Value& hi, std::vector<RowPos>* out) {
+  std::vector<RowPos> rows;
+  if (part->main(col) != nullptr && part->main_row_count() > 0) {
+    PAYG_ASSIGN_OR_RETURN(auto reader, part->main(col)->NewReader());
+    PAYG_ASSIGN_OR_RETURN(ValueId vlo, reader->LowerBoundVid(lo));
+    PAYG_ASSIGN_OR_RETURN(ValueId vhi_excl, reader->UpperBoundVid(hi));
+    if (vlo < vhi_excl) {
+      PAYG_RETURN_IF_ERROR(reader->SearchVidRange(
+          0, static_cast<RowPos>(part->main_row_count()), vlo, vhi_excl - 1,
+          &rows));
+    }
+  }
+  std::vector<RowPos> delta_rows;
+  part->delta(col)->FindRowsInRange(lo, hi, &delta_rows);
+  const RowPos base = static_cast<RowPos>(part->main_row_count());
+  for (RowPos r : delta_rows) rows.push_back(base + r);
+  for (RowPos r : rows) {
+    if (part->IsVisible(r)) out->push_back(r);
+  }
+  return Status::OK();
+}
+
+Status Table::FindMatchesIn(Partition* part, int col,
+                            const std::vector<Value>& values,
+                            std::vector<RowPos>* out) {
+  std::vector<RowPos> rows;
+  if (part->main(col) != nullptr && part->main_row_count() > 0) {
+    PAYG_ASSIGN_OR_RETURN(auto reader, part->main(col)->NewReader());
+    // Translate the IN-list into a sorted vid set through the dictionary;
+    // absent values simply drop out.
+    std::vector<ValueId> vids;
+    for (const Value& v : values) {
+      PAYG_ASSIGN_OR_RETURN(ValueId vid, reader->FindValueId(v));
+      if (vid != kInvalidValueId) vids.push_back(vid);
+    }
+    std::sort(vids.begin(), vids.end());
+    vids.erase(std::unique(vids.begin(), vids.end()), vids.end());
+    if (!vids.empty()) {
+      PAYG_RETURN_IF_ERROR(reader->SearchVidSet(
+          0, static_cast<RowPos>(part->main_row_count()), vids, &rows));
+    }
+  }
+  std::vector<RowPos> delta_rows;
+  part->delta(col)->FindRowsMatching(
+      [&values](const Value& v) {
+        for (const Value& probe : values) {
+          if (v == probe) return true;
+        }
+        return false;
+      },
+      &delta_rows);
+  const RowPos base = static_cast<RowPos>(part->main_row_count());
+  for (RowPos r : delta_rows) rows.push_back(base + r);
+  for (RowPos r : rows) {
+    if (part->IsVisible(r)) out->push_back(r);
+  }
+  return Status::OK();
+}
+
+Status Table::FindMatchesPrefix(Partition* part, int col,
+                                const std::string& prefix,
+                                std::vector<RowPos>* out) {
+  std::vector<RowPos> rows;
+  if (part->main(col) != nullptr && part->main_row_count() > 0) {
+    PAYG_ASSIGN_OR_RETURN(auto reader, part->main(col)->NewReader());
+    // [LowerBound(prefix), LowerBound(successor)) is exactly the vid range
+    // of strings starting with `prefix` — the dictionary is order
+    // preserving. The successor is the prefix with its last byte bumped
+    // (dropping trailing 0xFF bytes).
+    PAYG_ASSIGN_OR_RETURN(ValueId vlo,
+                          reader->LowerBoundVid(Value(prefix)));
+    std::string successor = prefix;
+    while (!successor.empty() &&
+           static_cast<unsigned char>(successor.back()) == 0xFF) {
+      successor.pop_back();
+    }
+    ValueId vhi_excl;
+    if (successor.empty()) {
+      // Prefix of all-0xFF bytes: everything >= prefix matches.
+      vhi_excl = static_cast<ValueId>(part->main(col)->dict_size());
+    } else {
+      ++successor.back();
+      PAYG_ASSIGN_OR_RETURN(vhi_excl,
+                            reader->LowerBoundVid(Value(successor)));
+    }
+    if (vlo < vhi_excl) {
+      PAYG_RETURN_IF_ERROR(reader->SearchVidRange(
+          0, static_cast<RowPos>(part->main_row_count()), vlo, vhi_excl - 1,
+          &rows));
+    }
+  }
+  std::vector<RowPos> delta_rows;
+  part->delta(col)->FindRowsMatching(
+      [&prefix](const Value& v) {
+        const std::string& s = v.AsString();
+        return s.size() >= prefix.size() &&
+               s.compare(0, prefix.size(), prefix) == 0;
+      },
+      &delta_rows);
+  const RowPos base = static_cast<RowPos>(part->main_row_count());
+  for (RowPos r : delta_rows) rows.push_back(base + r);
+  for (RowPos r : rows) {
+    if (part->IsVisible(r)) out->push_back(r);
+  }
+  return Status::OK();
+}
+
+Status Table::MaterializeRows(Partition* part, const std::vector<RowPos>& rows,
+                              const std::vector<int>& select_cols,
+                              QueryResult* result) {
+  if (rows.empty()) return Status::OK();
+  const size_t first_out = result->rows.size();
+  result->rows.resize(first_out + rows.size());
+  for (auto& row : result->rows) row.reserve(select_cols.size());
+
+  const RowPos base = static_cast<RowPos>(part->main_row_count());
+  // Late materialization (§1): one column at a time, so each column's
+  // dictionary pages are touched once per query, not once per row.
+  for (int col : select_cols) {
+    std::unique_ptr<FragmentReader> reader;
+    std::unordered_map<ValueId, Value> memo;  // materialize each distinct vid once
+    for (size_t i = 0; i < rows.size(); ++i) {
+      Value v;
+      if (rows[i] < base) {
+        if (reader == nullptr) {
+          PAYG_ASSIGN_OR_RETURN(reader, part->main(col)->NewReader());
+        }
+        PAYG_ASSIGN_OR_RETURN(ValueId vid, reader->GetVid(rows[i]));
+        auto it = memo.find(vid);
+        if (it == memo.end()) {
+          PAYG_ASSIGN_OR_RETURN(Value mv, reader->GetValueForVid(vid));
+          it = memo.emplace(vid, std::move(mv)).first;
+        }
+        v = it->second;
+      } else {
+        DeltaFragment* delta = part->delta(col);
+        v = delta->GetValue(delta->GetVid(rows[i] - base));
+      }
+      result->rows[first_out + i].push_back(std::move(v));
+    }
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> Table::SelectByValue(
+    const std::string& filter_column, const Value& value,
+    const std::vector<std::string>& select_columns) {
+  int col = schema_.ColumnIndex(filter_column);
+  if (col < 0) return Status::NotFound("no such column: " + filter_column);
+  PAYG_ASSIGN_OR_RETURN(std::vector<int> select_cols,
+                        ResolveColumns(select_columns));
+  QueryResult result;
+  for (auto& part : partitions_) {
+    std::vector<RowPos> rows;
+    PAYG_RETURN_IF_ERROR(FindMatches(part.get(), col, value, &rows));
+    PAYG_RETURN_IF_ERROR(
+        MaterializeRows(part.get(), rows, select_cols, &result));
+  }
+  return result;
+}
+
+Result<uint64_t> Table::CountByValue(const std::string& filter_column,
+                                     const Value& value) {
+  int col = schema_.ColumnIndex(filter_column);
+  if (col < 0) return Status::NotFound("no such column: " + filter_column);
+  uint64_t count = 0;
+  for (auto& part : partitions_) {
+    std::vector<RowPos> rows;
+    PAYG_RETURN_IF_ERROR(FindMatches(part.get(), col, value, &rows));
+    count += rows.size();
+  }
+  return count;
+}
+
+Result<std::vector<RowId>> Table::RowIdsByValue(
+    const std::string& filter_column, const Value& value) {
+  int col = schema_.ColumnIndex(filter_column);
+  if (col < 0) return Status::NotFound("no such column: " + filter_column);
+  std::vector<RowId> ids;
+  for (auto& part : partitions_) {
+    std::vector<RowPos> rows;
+    PAYG_RETURN_IF_ERROR(FindMatches(part.get(), col, value, &rows));
+    for (RowPos r : rows) ids.push_back(RowId{part->id(), r});
+  }
+  return ids;
+}
+
+Result<QueryResult> Table::SelectRange(
+    const std::string& filter_column, const Value& lo, const Value& hi,
+    const std::vector<std::string>& select_columns) {
+  int col = schema_.ColumnIndex(filter_column);
+  if (col < 0) return Status::NotFound("no such column: " + filter_column);
+  PAYG_ASSIGN_OR_RETURN(std::vector<int> select_cols,
+                        ResolveColumns(select_columns));
+  QueryResult result;
+  for (auto& part : partitions_) {
+    std::vector<RowPos> rows;
+    PAYG_RETURN_IF_ERROR(FindMatchesRange(part.get(), col, lo, hi, &rows));
+    PAYG_RETURN_IF_ERROR(
+        MaterializeRows(part.get(), rows, select_cols, &result));
+  }
+  return result;
+}
+
+Result<double> Table::SumRange(const std::string& filter_column,
+                               const Value& lo, const Value& hi,
+                               const std::string& sum_column) {
+  int col = schema_.ColumnIndex(filter_column);
+  if (col < 0) return Status::NotFound("no such column: " + filter_column);
+  int scol = schema_.ColumnIndex(sum_column);
+  if (scol < 0) return Status::NotFound("no such column: " + sum_column);
+  ValueType stype = schema_.columns[scol].type;
+  if (stype == ValueType::kString) {
+    return Status::InvalidArgument("SUM over a string column");
+  }
+  double sum = 0;
+  for (auto& part : partitions_) {
+    std::vector<RowPos> rows;
+    PAYG_RETURN_IF_ERROR(FindMatchesRange(part.get(), col, lo, hi, &rows));
+    if (rows.empty()) continue;
+    const RowPos base = static_cast<RowPos>(part->main_row_count());
+    std::unique_ptr<FragmentReader> reader;
+    std::unordered_map<ValueId, double> memo;
+    for (RowPos r : rows) {
+      double v;
+      if (r < base) {
+        if (reader == nullptr) {
+          PAYG_ASSIGN_OR_RETURN(reader, part->main(scol)->NewReader());
+        }
+        PAYG_ASSIGN_OR_RETURN(ValueId vid, reader->GetVid(r));
+        auto it = memo.find(vid);
+        if (it == memo.end()) {
+          PAYG_ASSIGN_OR_RETURN(Value mv, reader->GetValueForVid(vid));
+          double d = stype == ValueType::kInt64
+                         ? static_cast<double>(mv.AsInt64())
+                         : mv.AsDouble();
+          it = memo.emplace(vid, d).first;
+        }
+        v = it->second;
+      } else {
+        DeltaFragment* delta = part->delta(scol);
+        const Value& mv = delta->GetValue(delta->GetVid(r - base));
+        v = stype == ValueType::kInt64 ? static_cast<double>(mv.AsInt64())
+                                       : mv.AsDouble();
+      }
+      sum += v;
+    }
+  }
+  return sum;
+}
+
+namespace {
+
+// Value-space evaluation of a predicate (delta rows and IN narrowing).
+bool EvalPredicate(const Predicate& pred, const Value& v) {
+  switch (pred.op) {
+    case Predicate::Op::kEq:
+      return v == pred.value;
+    case Predicate::Op::kBetween:
+      return v.Compare(pred.lo) >= 0 && v.Compare(pred.hi) <= 0;
+    case Predicate::Op::kIn:
+      for (const Value& probe : pred.values) {
+        if (v == probe) return true;
+      }
+      return false;
+    case Predicate::Op::kPrefix: {
+      const std::string& s = v.AsString();
+      return s.size() >= pred.prefix.size() &&
+             s.compare(0, pred.prefix.size(), pred.prefix) == 0;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status Table::FindByPredicate(Partition* part, const Predicate& pred,
+                              std::vector<RowPos>* out) {
+  int col = schema_.ColumnIndex(pred.column);
+  if (col < 0) return Status::NotFound("no such column: " + pred.column);
+  switch (pred.op) {
+    case Predicate::Op::kEq:
+      return FindMatches(part, col, pred.value, out);
+    case Predicate::Op::kBetween:
+      return FindMatchesRange(part, col, pred.lo, pred.hi, out);
+    case Predicate::Op::kIn:
+      return FindMatchesIn(part, col, pred.values, out);
+    case Predicate::Op::kPrefix:
+      if (schema_.columns[col].type != ValueType::kString) {
+        return Status::InvalidArgument("prefix predicate on non-string "
+                                       "column");
+      }
+      return FindMatchesPrefix(part, col, pred.prefix, out);
+  }
+  return Status::Internal("unknown predicate op");
+}
+
+Status Table::NarrowByPredicate(Partition* part, const Predicate& pred,
+                                const std::vector<RowPos>& in,
+                                std::vector<RowPos>* out) {
+  int col = schema_.ColumnIndex(pred.column);
+  if (col < 0) return Status::NotFound("no such column: " + pred.column);
+
+  // Split candidates into main rows (narrowed via vid-space row-list
+  // search) and delta rows (narrowed in value space).
+  const RowPos base = static_cast<RowPos>(part->main_row_count());
+  std::vector<RowPos> main_rows, delta_rows;
+  for (RowPos r : in) {
+    (r < base ? main_rows : delta_rows).push_back(r);
+  }
+
+  std::vector<RowPos> kept;
+  if (!main_rows.empty()) {
+    PAYG_ASSIGN_OR_RETURN(auto reader, part->main(col)->NewReader());
+    switch (pred.op) {
+      case Predicate::Op::kEq: {
+        PAYG_ASSIGN_OR_RETURN(ValueId vid, reader->FindValueId(pred.value));
+        if (vid != kInvalidValueId) {
+          PAYG_RETURN_IF_ERROR(reader->FilterRows(main_rows, vid, vid, &kept));
+        }
+        break;
+      }
+      case Predicate::Op::kBetween: {
+        PAYG_ASSIGN_OR_RETURN(ValueId vlo, reader->LowerBoundVid(pred.lo));
+        PAYG_ASSIGN_OR_RETURN(ValueId vhi_excl, reader->UpperBoundVid(pred.hi));
+        if (vlo < vhi_excl) {
+          PAYG_RETURN_IF_ERROR(
+              reader->FilterRows(main_rows, vlo, vhi_excl - 1, &kept));
+        }
+        break;
+      }
+      case Predicate::Op::kIn: {
+        std::vector<ValueId> vids;
+        for (const Value& v : pred.values) {
+          PAYG_ASSIGN_OR_RETURN(ValueId vid, reader->FindValueId(v));
+          if (vid != kInvalidValueId) vids.push_back(vid);
+        }
+        std::sort(vids.begin(), vids.end());
+        for (RowPos r : main_rows) {
+          PAYG_ASSIGN_OR_RETURN(ValueId vid, reader->GetVid(r));
+          if (std::binary_search(vids.begin(), vids.end(), vid)) {
+            kept.push_back(r);
+          }
+        }
+        break;
+      }
+      case Predicate::Op::kPrefix: {
+        if (schema_.columns[col].type != ValueType::kString) {
+          return Status::InvalidArgument("prefix predicate on non-string "
+                                         "column");
+        }
+        PAYG_ASSIGN_OR_RETURN(ValueId vlo,
+                              reader->LowerBoundVid(Value(pred.prefix)));
+        std::string successor = pred.prefix;
+        while (!successor.empty() &&
+               static_cast<unsigned char>(successor.back()) == 0xFF) {
+          successor.pop_back();
+        }
+        ValueId vhi_excl;
+        if (successor.empty()) {
+          vhi_excl = static_cast<ValueId>(part->main(col)->dict_size());
+        } else {
+          ++successor.back();
+          PAYG_ASSIGN_OR_RETURN(vhi_excl,
+                                reader->LowerBoundVid(Value(successor)));
+        }
+        if (vlo < vhi_excl) {
+          PAYG_RETURN_IF_ERROR(
+              reader->FilterRows(main_rows, vlo, vhi_excl - 1, &kept));
+        }
+        break;
+      }
+    }
+  }
+  DeltaFragment* delta = part->delta(col);
+  for (RowPos r : delta_rows) {
+    if (EvalPredicate(pred, delta->GetValue(delta->GetVid(r - base)))) {
+      kept.push_back(r);
+    }
+  }
+  std::sort(kept.begin(), kept.end());
+  out->insert(out->end(), kept.begin(), kept.end());
+  return Status::OK();
+}
+
+Status Table::FindMatchesWhere(Partition* part,
+                               const std::vector<Predicate>& conjuncts,
+                               std::vector<RowPos>* out) {
+  PAYG_ASSERT(!conjuncts.empty());
+  std::vector<RowPos> candidates;
+  PAYG_RETURN_IF_ERROR(FindByPredicate(part, conjuncts[0], &candidates));
+  for (size_t i = 1; i < conjuncts.size() && !candidates.empty(); ++i) {
+    std::vector<RowPos> next;
+    PAYG_RETURN_IF_ERROR(
+        NarrowByPredicate(part, conjuncts[i], candidates, &next));
+    candidates = std::move(next);
+  }
+  out->insert(out->end(), candidates.begin(), candidates.end());
+  return Status::OK();
+}
+
+Result<QueryResult> Table::SelectWhere(
+    const std::vector<Predicate>& conjuncts,
+    const std::vector<std::string>& select_columns) {
+  if (conjuncts.empty()) {
+    return Status::InvalidArgument("SelectWhere needs at least one conjunct");
+  }
+  PAYG_ASSIGN_OR_RETURN(std::vector<int> select_cols,
+                        ResolveColumns(select_columns));
+  QueryResult result;
+  for (auto& part : partitions_) {
+    std::vector<RowPos> rows;
+    PAYG_RETURN_IF_ERROR(FindMatchesWhere(part.get(), conjuncts, &rows));
+    PAYG_RETURN_IF_ERROR(
+        MaterializeRows(part.get(), rows, select_cols, &result));
+  }
+  return result;
+}
+
+Result<uint64_t> Table::CountWhere(const std::vector<Predicate>& conjuncts) {
+  if (conjuncts.empty()) {
+    return Status::InvalidArgument("CountWhere needs at least one conjunct");
+  }
+  uint64_t count = 0;
+  for (auto& part : partitions_) {
+    std::vector<RowPos> rows;
+    PAYG_RETURN_IF_ERROR(FindMatchesWhere(part.get(), conjuncts, &rows));
+    count += rows.size();
+  }
+  return count;
+}
+
+Result<QueryResult> Table::SelectIn(
+    const std::string& filter_column, const std::vector<Value>& values,
+    const std::vector<std::string>& select_columns) {
+  int col = schema_.ColumnIndex(filter_column);
+  if (col < 0) return Status::NotFound("no such column: " + filter_column);
+  PAYG_ASSIGN_OR_RETURN(std::vector<int> select_cols,
+                        ResolveColumns(select_columns));
+  QueryResult result;
+  for (auto& part : partitions_) {
+    std::vector<RowPos> rows;
+    PAYG_RETURN_IF_ERROR(FindMatchesIn(part.get(), col, values, &rows));
+    PAYG_RETURN_IF_ERROR(
+        MaterializeRows(part.get(), rows, select_cols, &result));
+  }
+  return result;
+}
+
+Result<uint64_t> Table::CountIn(const std::string& filter_column,
+                                const std::vector<Value>& values) {
+  int col = schema_.ColumnIndex(filter_column);
+  if (col < 0) return Status::NotFound("no such column: " + filter_column);
+  uint64_t count = 0;
+  for (auto& part : partitions_) {
+    std::vector<RowPos> rows;
+    PAYG_RETURN_IF_ERROR(FindMatchesIn(part.get(), col, values, &rows));
+    count += rows.size();
+  }
+  return count;
+}
+
+Result<QueryResult> Table::SelectPrefix(
+    const std::string& filter_column, const std::string& prefix,
+    const std::vector<std::string>& select_columns) {
+  int col = schema_.ColumnIndex(filter_column);
+  if (col < 0) return Status::NotFound("no such column: " + filter_column);
+  if (schema_.columns[col].type != ValueType::kString) {
+    return Status::InvalidArgument("prefix predicate on non-string column");
+  }
+  PAYG_ASSIGN_OR_RETURN(std::vector<int> select_cols,
+                        ResolveColumns(select_columns));
+  QueryResult result;
+  for (auto& part : partitions_) {
+    std::vector<RowPos> rows;
+    PAYG_RETURN_IF_ERROR(FindMatchesPrefix(part.get(), col, prefix, &rows));
+    PAYG_RETURN_IF_ERROR(
+        MaterializeRows(part.get(), rows, select_cols, &result));
+  }
+  return result;
+}
+
+Result<uint64_t> Table::CountPrefix(const std::string& filter_column,
+                                    const std::string& prefix) {
+  int col = schema_.ColumnIndex(filter_column);
+  if (col < 0) return Status::NotFound("no such column: " + filter_column);
+  if (schema_.columns[col].type != ValueType::kString) {
+    return Status::InvalidArgument("prefix predicate on non-string column");
+  }
+  uint64_t count = 0;
+  for (auto& part : partitions_) {
+    std::vector<RowPos> rows;
+    PAYG_RETURN_IF_ERROR(FindMatchesPrefix(part.get(), col, prefix, &rows));
+    count += rows.size();
+  }
+  return count;
+}
+
+void Table::UnloadAll() {
+  for (auto& part : partitions_) part->UnloadAll();
+}
+
+uint64_t Table::ResidentBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& part : partitions_) bytes += part->ResidentBytes();
+  return bytes;
+}
+
+std::vector<Table::ColumnStats> Table::CollectColumnStats() const {
+  std::vector<ColumnStats> out;
+  for (const auto& part : partitions_) {
+    for (size_t c = 0; c < schema_.columns.size(); ++c) {
+      const ColumnSchema& cs = schema_.columns[c];
+      ColumnStats stats;
+      stats.table = schema_.name;
+      stats.column = cs.name;
+      stats.partition = part->id();
+      stats.cold = part->cold();
+      stats.page_loadable = cs.page_loadable;
+      stats.delta_rows = part->delta(static_cast<int>(c))->row_count();
+      MainFragment* main =
+          const_cast<Partition*>(part.get())->main(static_cast<int>(c));
+      if (main != nullptr) {
+        stats.has_index = main->has_index();
+        stats.main_rows = main->row_count();
+        stats.dict_size = main->dict_size();
+        stats.resident_bytes = main->ResidentBytes();
+      }
+      out.push_back(std::move(stats));
+    }
+  }
+  return out;
+}
+
+}  // namespace payg

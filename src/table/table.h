@@ -1,0 +1,243 @@
+#ifndef PAYG_TABLE_TABLE_H_
+#define PAYG_TABLE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "table/partition.h"
+#include "table/schema.h"
+
+namespace payg {
+
+// Identifies a row across partitions (the executor's ROWID).
+struct RowId {
+  uint32_t partition = 0;
+  RowPos row = 0;
+
+  bool operator==(const RowId& other) const {
+    return partition == other.partition && row == other.row;
+  }
+};
+
+// Materialized query result.
+struct QueryResult {
+  std::vector<std::vector<Value>> rows;
+};
+
+// One conjunct of a WHERE clause. Conjunctive queries evaluate the first
+// predicate through the dictionary/index machinery and then narrow the
+// surviving row positions with the data-vector search variety over row
+// lists (§3.1.2).
+struct Predicate {
+  enum class Op { kEq, kBetween, kIn, kPrefix };
+
+  std::string column;
+  Op op = Op::kEq;
+  Value value;                // kEq
+  Value lo, hi;               // kBetween (inclusive)
+  std::vector<Value> values;  // kIn
+  std::string prefix;         // kPrefix (string columns)
+
+  static Predicate Eq(std::string column, Value v) {
+    Predicate p;
+    p.column = std::move(column);
+    p.op = Op::kEq;
+    p.value = std::move(v);
+    return p;
+  }
+  static Predicate Between(std::string column, Value lo, Value hi) {
+    Predicate p;
+    p.column = std::move(column);
+    p.op = Op::kBetween;
+    p.lo = std::move(lo);
+    p.hi = std::move(hi);
+    return p;
+  }
+  static Predicate In(std::string column, std::vector<Value> values) {
+    Predicate p;
+    p.column = std::move(column);
+    p.op = Op::kIn;
+    p.values = std::move(values);
+    return p;
+  }
+  static Predicate Prefix(std::string column, std::string prefix) {
+    Predicate p;
+    p.column = std::move(column);
+    p.op = Op::kPrefix;
+    p.prefix = std::move(prefix);
+    return p;
+  }
+};
+
+// A range-partitioned columnar table with one hot partition and any number
+// of cold partitions (§4). Every query is evaluated independently on the
+// main and delta fragment of each partition and the results are combined
+// after applying row visibility (§2).
+// Per-partition restart info recorded in the store catalog.
+struct PartitionManifest {
+  bool cold = false;
+  uint64_t merge_generation = 0;
+  uint64_t main_rows = 0;
+};
+
+class Table {
+ public:
+  Table(TableSchema schema, StorageManager* storage, ResourceManager* rm);
+
+  // Restart path: re-attaches a table whose partitions were persisted by a
+  // checkpoint. manifests[0] must be the hot partition.
+  static Result<std::unique_ptr<Table>> OpenExisting(
+      TableSchema schema, StorageManager* storage, ResourceManager* rm,
+      const std::vector<PartitionManifest>& manifests);
+
+  // Manifests describing the current partitions (for the catalog). Only
+  // meaningful right after MergeAll (deltas are memory-only).
+  std::vector<PartitionManifest> Manifests() const;
+
+  const TableSchema& schema() const { return schema_; }
+
+  // Appends a row to the hot partition's delta fragments.
+  Status Insert(const std::vector<Value>& row);
+
+  // Adds a new cold partition (explicit ADD PARTITION, §4.2). Its columns
+  // follow the schema's loading preference; cold pages live in the cold
+  // paged pool.
+  Status AddColdPartition();
+
+  // Ages rows: every visible hot row whose temperature column value
+  // compares <= `threshold` is moved to the newest cold partition as an
+  // ordinary delete+insert through the delta (§4.2). Returns the number of
+  // rows moved. Run MergeAll() afterwards to persist cold mains.
+  Result<uint64_t> AgeRows(const Value& threshold);
+
+  // Runs the delta merge on every partition.
+  Status MergeAll();
+
+  uint64_t partition_count() const {
+    return static_cast<uint64_t>(partitions_.size());
+  }
+  Partition* hot() { return partitions_[0].get(); }
+  Partition* partition(uint32_t id) { return partitions_[id].get(); }
+
+  uint64_t row_count() const;
+  uint64_t visible_row_count() const;
+
+  // --- queries (the §6 workload templates) ---------------------------------
+
+  // SELECT <select_columns> FROM T WHERE <filter_column> = <value>
+  Result<QueryResult> SelectByValue(const std::string& filter_column,
+                                    const Value& value,
+                                    const std::vector<std::string>&
+                                        select_columns);
+
+  // SELECT COUNT(*) FROM T WHERE <filter_column> = <value>
+  Result<uint64_t> CountByValue(const std::string& filter_column,
+                                const Value& value);
+
+  // SELECT ROWID() FROM T WHERE <filter_column> = <value>
+  Result<std::vector<RowId>> RowIdsByValue(const std::string& filter_column,
+                                           const Value& value);
+
+  // SELECT <select_columns> FROM T WHERE lo <= <filter_column> <= hi
+  Result<QueryResult> SelectRange(const std::string& filter_column,
+                                  const Value& lo, const Value& hi,
+                                  const std::vector<std::string>&
+                                      select_columns);
+
+  // SELECT SUM(<sum_column>) FROM T WHERE lo <= <filter_column> <= hi
+  Result<double> SumRange(const std::string& filter_column, const Value& lo,
+                          const Value& hi, const std::string& sum_column);
+
+  // SELECT <select_columns> FROM T WHERE <filter_column> IN (<values>)
+  Result<QueryResult> SelectIn(const std::string& filter_column,
+                               const std::vector<Value>& values,
+                               const std::vector<std::string>&
+                                   select_columns);
+
+  // SELECT COUNT(*) FROM T WHERE <filter_column> IN (<values>)
+  Result<uint64_t> CountIn(const std::string& filter_column,
+                           const std::vector<Value>& values);
+
+  // SELECT <select_columns> FROM T WHERE <filter_column> LIKE '<prefix>%'
+  // (string columns only). The prefix predicate is translated to a vid
+  // range through the order-preserving dictionary.
+  Result<QueryResult> SelectPrefix(const std::string& filter_column,
+                                   const std::string& prefix,
+                                   const std::vector<std::string>&
+                                       select_columns);
+
+  Result<uint64_t> CountPrefix(const std::string& filter_column,
+                               const std::string& prefix);
+
+  // SELECT <select_columns> FROM T WHERE <p1> AND <p2> AND ...
+  Result<QueryResult> SelectWhere(const std::vector<Predicate>& conjuncts,
+                                  const std::vector<std::string>&
+                                      select_columns);
+
+  // SELECT COUNT(*) FROM T WHERE <p1> AND <p2> AND ...
+  Result<uint64_t> CountWhere(const std::vector<Predicate>& conjuncts);
+
+  // --- memory control -------------------------------------------------------
+  void UnloadAll();
+  uint64_t ResidentBytes() const;
+
+  // --- monitoring (an M_CS_COLUMNS-style view) ------------------------------
+  struct ColumnStats {
+    std::string table;
+    std::string column;
+    uint32_t partition = 0;
+    bool cold = false;
+    bool page_loadable = false;
+    bool has_index = false;
+    uint64_t main_rows = 0;
+    uint64_t delta_rows = 0;
+    uint64_t dict_size = 0;
+    uint64_t resident_bytes = 0;  // main fragment only
+  };
+
+  // One row per (partition, column): loading behaviour, sizes, and the
+  // bytes currently memory resident.
+  std::vector<ColumnStats> CollectColumnStats() const;
+
+ private:
+  // Row positions in `part` whose `col` equals `value`, visible rows only.
+  Status FindMatches(Partition* part, int col, const Value& value,
+                     std::vector<RowPos>* out);
+  // Row positions in `part` whose `col` is within [lo, hi], visible only.
+  Status FindMatchesRange(Partition* part, int col, const Value& lo,
+                          const Value& hi, std::vector<RowPos>* out);
+  // Row positions in `part` whose `col` is in `values`, visible only.
+  Status FindMatchesIn(Partition* part, int col,
+                       const std::vector<Value>& values,
+                       std::vector<RowPos>* out);
+  // Row positions in `part` whose string `col` starts with `prefix`.
+  Status FindMatchesPrefix(Partition* part, int col, const std::string& prefix,
+                           std::vector<RowPos>* out);
+  // Dispatches one predicate to the matcher above (the "driving" conjunct).
+  Status FindByPredicate(Partition* part, const Predicate& pred,
+                         std::vector<RowPos>* out);
+  // Narrows candidate rows of `part` by an additional conjunct.
+  Status NarrowByPredicate(Partition* part, const Predicate& pred,
+                           const std::vector<RowPos>& in,
+                           std::vector<RowPos>* out);
+  // Row positions matching every conjunct, per partition.
+  Status FindMatchesWhere(Partition* part,
+                          const std::vector<Predicate>& conjuncts,
+                          std::vector<RowPos>* out);
+  // Materializes `select_columns` of the given rows of one partition.
+  Status MaterializeRows(Partition* part, const std::vector<RowPos>& rows,
+                         const std::vector<int>& select_cols,
+                         QueryResult* result);
+  Result<std::vector<int>> ResolveColumns(
+      const std::vector<std::string>& names) const;
+
+  TableSchema schema_;
+  StorageManager* storage_;
+  ResourceManager* rm_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+};
+
+}  // namespace payg
+
+#endif  // PAYG_TABLE_TABLE_H_

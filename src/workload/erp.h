@@ -1,0 +1,111 @@
+#ifndef PAYG_WORKLOAD_ERP_H_
+#define PAYG_WORKLOAD_ERP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "table/table.h"
+
+namespace payg {
+
+// Which columns of the ERP table are PAGE LOADABLE — the table variants of
+// Table 2.
+enum class TableVariant {
+  kBase,        // T_b: all columns fully resident
+  kPagedAll,    // T_p: every non-primary-key column page loadable
+  kPagedPkOnly, // T_pp: only the primary key column page loadable
+};
+
+// Scaled-down version of the paper's generator (§6.1: 100M rows × 128
+// columns; 112 columns <100 distinct values, 14 columns >1000 distinct,
+// types INTEGER, DECIMAL, DOUBLE, CHAR, VARCHAR). The ratios are kept: most
+// columns are low-cardinality, a few are high-cardinality, plus a unique
+// VARCHAR primary key and an INTEGER aging-date column.
+struct ErpConfig {
+  uint64_t rows = 200000;
+  // Default column mix mirrors the paper's 128-column table: 112 columns
+  // with <100 distinct values and 14 with >1000 (plus pk and aging_date).
+  uint32_t low_card_int_cols = 48;
+  uint32_t low_card_str_cols = 48;
+  uint32_t decimal_cols = 8;   // DECIMAL carried as scaled int64
+  uint32_t double_cols = 8;
+  uint32_t high_card_int_cols = 7;  // >1000 distinct values
+  uint32_t high_card_str_cols = 7;  // >1000 distinct values
+  TableVariant variant = TableVariant::kBase;
+  bool with_indexes = false;  // the ^i variants: one inverted index per column
+  uint64_t seed = 42;
+
+  uint32_t column_count() const {
+    return 2 /*pk + aging_date*/ + low_card_int_cols + low_card_str_cols +
+           decimal_cols + double_cols + high_card_int_cols +
+           high_card_str_cols;
+  }
+};
+
+// Deterministic description of one generated column: cardinality plus the
+// k-th distinct value, monotonically increasing in k so the dictionary is
+// [ValueAt(0) .. ValueAt(cardinality-1)] without sorting.
+struct ErpColumnSpec {
+  std::string name;
+  ValueType type;
+  uint64_t cardinality;
+  bool unique = false;  // pk: vid == row (sequentially assigned documents)
+
+  Value ValueAt(uint64_t k) const;
+};
+
+// The deterministic column layout of an ErpConfig. Column 0 is the primary
+// key ("pk"), column 1 the aging-date temperature column ("aging_date").
+std::vector<ErpColumnSpec> MakeErpColumns(const ErpConfig& config);
+
+// Table DDL for the config (paged flags per the variant, index flags per
+// with_indexes; the pk always gets an inverted index so point lookups are
+// realistic).
+TableSchema MakeErpSchema(const ErpConfig& config,
+                          const std::string& table_name);
+
+// Bulk-loads the hot partition of `table` with `config.rows` rows. The
+// per-column vid streams are deterministic in config.seed.
+Status PopulateErpTable(Table* table, const ErpConfig& config);
+
+// Query-workload companion (Table 2): produces the random query parameters
+// the §6 experiments draw. Deterministic in its seed.
+class ErpWorkload {
+ public:
+  ErpWorkload(const ErpConfig& config, uint64_t seed)
+      : config_(config), columns_(MakeErpColumns(config)), rng_(seed) {}
+
+  const std::vector<ErpColumnSpec>& columns() const { return columns_; }
+
+  // The primary key value of row `row` (pk vids are assigned row order).
+  Value PkOfRow(uint64_t row) const { return columns_[0].ValueAt(row); }
+
+  uint64_t RandomRow() { return rng_.Uniform(config_.rows); }
+
+  // A random existing value of column `col`.
+  Value RandomValueOf(int col) {
+    return columns_[col].ValueAt(rng_.Uniform(columns_[col].cardinality));
+  }
+
+  // Index of a random non-pk column with the given type; -1 if none.
+  int RandomColumnOfType(ValueType type, bool high_cardinality);
+
+  // Index of a random numeric (INT64 or DOUBLE) column, any cardinality,
+  // excluding pk and aging_date — the paper's "C_num".
+  int RandomNumericColumn();
+
+  // PK range [lo, hi] covering ~selectivity of the table.
+  std::pair<Value, Value> RandomPkRange(double selectivity);
+
+  Random& rng() { return rng_; }
+
+ private:
+  ErpConfig config_;
+  std::vector<ErpColumnSpec> columns_;
+  Random rng_;
+};
+
+}  // namespace payg
+
+#endif  // PAYG_WORKLOAD_ERP_H_

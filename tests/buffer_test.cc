@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "buffer/resource_manager.h"
+
+namespace payg {
+namespace {
+
+TEST(DispositionTest, WeightsAreOrdered) {
+  EXPECT_LT(DispositionWeight(Disposition::kTemporary),
+            DispositionWeight(Disposition::kShortTerm));
+  EXPECT_LT(DispositionWeight(Disposition::kShortTerm),
+            DispositionWeight(Disposition::kMidTerm));
+  EXPECT_LT(DispositionWeight(Disposition::kMidTerm),
+            DispositionWeight(Disposition::kLongTerm));
+  EXPECT_LT(DispositionWeight(Disposition::kLongTerm),
+            DispositionWeight(Disposition::kNonSwappable));
+}
+
+TEST(ResourceManagerTest, TracksBytesPerPool) {
+  ResourceManager rm;
+  rm.Register("a", 100, Disposition::kMidTerm, PoolId::kGeneral, nullptr);
+  rm.Register("b", 50, Disposition::kPagedAttribute, PoolId::kPagedPool,
+              nullptr);
+  rm.Register("c", 25, Disposition::kPagedAttribute, PoolId::kColdPagedPool,
+              nullptr);
+  EXPECT_EQ(rm.total_bytes(), 175u);
+  EXPECT_EQ(rm.pool_bytes(PoolId::kGeneral), 100u);
+  EXPECT_EQ(rm.pool_bytes(PoolId::kPagedPool), 50u);
+  EXPECT_EQ(rm.pool_bytes(PoolId::kColdPagedPool), 25u);
+}
+
+TEST(ResourceManagerTest, UnregisterReleasesBytes) {
+  ResourceManager rm;
+  ResourceId id =
+      rm.Register("a", 100, Disposition::kMidTerm, PoolId::kGeneral, nullptr);
+  EXPECT_TRUE(rm.Unregister(id));
+  EXPECT_EQ(rm.total_bytes(), 0u);
+  EXPECT_FALSE(rm.Unregister(id));  // second time: already gone
+}
+
+TEST(ResourceManagerTest, ReactiveEvictionEnforcesGlobalBudget) {
+  ResourceManager rm;
+  std::atomic<int> evicted{0};
+  rm.SetGlobalBudget(250);
+  for (int i = 0; i < 5; ++i) {
+    rm.Register("r" + std::to_string(i), 100, Disposition::kMidTerm,
+                PoolId::kGeneral, [&] { evicted++; });
+  }
+  // 5 x 100 bytes against a 250 budget: at least 3 evictions.
+  EXPECT_LE(rm.total_bytes(), 250u);
+  EXPECT_GE(evicted.load(), 3);
+  EXPECT_GE(rm.stats().reactive_evictions, 3u);
+}
+
+TEST(ResourceManagerTest, LruPrefersOldUntouchedResources) {
+  ResourceManager rm;
+  std::vector<int> evicted;
+  std::vector<ResourceId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(rm.Register("r" + std::to_string(i), 100,
+                              Disposition::kMidTerm, PoolId::kGeneral,
+                              [&evicted, i] { evicted.push_back(i); }));
+  }
+  // Touch 0 and 1 so 2 becomes the coldest.
+  rm.Touch(ids[0]);
+  rm.Touch(ids[1]);
+  rm.SetGlobalBudget(350);  // forces exactly one eviction
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 2);
+}
+
+TEST(ResourceManagerTest, WeightedLruEvictsLowWeightFirst) {
+  ResourceManager rm;
+  std::vector<std::string> evicted;
+  // Same age, different dispositions: the temporary resource must go first
+  // (t/w ordering with smaller w → larger score).
+  rm.Register("long", 100, Disposition::kLongTerm, PoolId::kGeneral,
+              [&] { evicted.push_back("long"); });
+  rm.Register("tmp", 100, Disposition::kTemporary, PoolId::kGeneral,
+              [&] { evicted.push_back("tmp"); });
+  rm.SetGlobalBudget(150);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], "tmp");
+}
+
+TEST(ResourceManagerTest, NonSwappableIsNeverEvicted) {
+  ResourceManager rm;
+  std::atomic<int> evicted{0};
+  rm.Register("pinned-by-policy", 100, Disposition::kNonSwappable,
+              PoolId::kGeneral, [&] { evicted++; });
+  rm.SetGlobalBudget(10);
+  EXPECT_EQ(evicted.load(), 0);
+  EXPECT_EQ(rm.total_bytes(), 100u);  // budget is overrun rather than violated
+}
+
+TEST(ResourceManagerTest, PinnedResourcesSurviveEviction) {
+  ResourceManager rm;
+  std::atomic<int> evicted{0};
+  ResourceId id = rm.Register("hot", 100, Disposition::kTemporary,
+                              PoolId::kGeneral, [&] { evicted++; });
+  ASSERT_TRUE(rm.Pin(id));
+  rm.SetGlobalBudget(10);
+  EXPECT_EQ(evicted.load(), 0);
+  rm.Unpin(id);
+  rm.SetGlobalBudget(10);  // re-trigger
+  EXPECT_EQ(evicted.load(), 1);
+}
+
+TEST(ResourceManagerTest, PinFailsForUnknownResource) {
+  ResourceManager rm;
+  EXPECT_FALSE(rm.Pin(12345));
+  PinnedResource p = PinnedResource::TryPin(&rm, 12345);
+  EXPECT_FALSE(p.valid());
+}
+
+TEST(ResourceManagerTest, RegisterPinnedStartsPinned) {
+  ResourceManager rm;
+  std::atomic<int> evicted{0};
+  ResourceId id = rm.RegisterPinned("page", 100, Disposition::kPagedAttribute,
+                                    PoolId::kPagedPool, [&] { evicted++; });
+  rm.SetPoolLimits(PoolId::kPagedPool, {0, 10});
+  rm.SweepNow();
+  EXPECT_EQ(evicted.load(), 0);  // pinned: sweep skips it
+  rm.Unpin(id);
+  rm.SweepNow();
+  EXPECT_EQ(evicted.load(), 1);
+}
+
+TEST(ResourceManagerTest, ProactiveSweepShrinksToLowerLimit) {
+  ResourceManager rm;
+  std::atomic<int> evicted{0};
+  rm.SetPoolLimits(PoolId::kPagedPool, {200, 1000});
+  for (int i = 0; i < 15; ++i) {
+    rm.Register("pg" + std::to_string(i), 100, Disposition::kPagedAttribute,
+                PoolId::kPagedPool, [&] { evicted++; });
+  }
+  rm.SweepNow();
+  // 1500 bytes > upper 1000 → shrink to lower limit 200.
+  EXPECT_LE(rm.pool_bytes(PoolId::kPagedPool), 200u);
+  EXPECT_GE(evicted.load(), 13);
+  EXPECT_GE(rm.stats().proactive_evictions, 13u);
+}
+
+TEST(ResourceManagerTest, ProactiveSweepIgnoresPoolBelowUpperLimit) {
+  ResourceManager rm;
+  std::atomic<int> evicted{0};
+  rm.SetPoolLimits(PoolId::kPagedPool, {200, 1000});
+  for (int i = 0; i < 5; ++i) {
+    rm.Register("pg" + std::to_string(i), 100, Disposition::kPagedAttribute,
+                PoolId::kPagedPool, [&] { evicted++; });
+  }
+  rm.SweepNow();
+  EXPECT_EQ(evicted.load(), 0);
+  EXPECT_EQ(rm.pool_bytes(PoolId::kPagedPool), 500u);
+}
+
+TEST(ResourceManagerTest, PagedPoolEvictedInLruOrderIgnoringWeight) {
+  ResourceManager rm;
+  std::vector<int> order;
+  std::vector<ResourceId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(rm.Register("pg" + std::to_string(i), 100,
+                              Disposition::kPagedAttribute, PoolId::kPagedPool,
+                              [&order, i] { order.push_back(i); }));
+  }
+  rm.Touch(ids[0]);  // 0 becomes most recent; LRU order 1,2,3,0
+  rm.SetPoolLimits(PoolId::kPagedPool, {100, 150});
+  rm.SweepNow();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ResourceManagerTest, ReactivePathDrainsPagedPoolBeforeColumns) {
+  ResourceManager rm;
+  std::vector<std::string> order;
+  rm.SetPoolLimits(PoolId::kPagedPool, {0, 0});  // no proactive limits
+  rm.Register("column", 100, Disposition::kMidTerm, PoolId::kGeneral,
+              [&] { order.push_back("column"); });
+  for (int i = 0; i < 3; ++i) {
+    rm.Register("page" + std::to_string(i), 100, Disposition::kPagedAttribute,
+                PoolId::kPagedPool,
+                [&, i] { order.push_back("page" + std::to_string(i)); });
+  }
+  // Budget forces evicting 300 bytes; all pages must go before the column.
+  rm.SetGlobalBudget(100);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0].substr(0, 4), "page");
+  EXPECT_EQ(order[1].substr(0, 4), "page");
+  EXPECT_EQ(order[2].substr(0, 4), "page");
+  EXPECT_EQ(rm.total_bytes(), 100u);  // the column survived
+}
+
+TEST(ResourceManagerTest, BackgroundSweeperRunsAsynchronously) {
+  ResourceManager rm;
+  std::atomic<int> evicted{0};
+  rm.SetPoolLimits(PoolId::kPagedPool, {100, 300});
+  for (int i = 0; i < 10; ++i) {
+    rm.Register("pg" + std::to_string(i), 100, Disposition::kPagedAttribute,
+                PoolId::kPagedPool, [&] { evicted++; });
+  }
+  // The background thread wakes within ~20ms; give it some slack.
+  for (int i = 0; i < 100 && rm.pool_bytes(PoolId::kPagedPool) > 100; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_LE(rm.pool_bytes(PoolId::kPagedPool), 100u);
+  EXPECT_GE(evicted.load(), 9);
+}
+
+TEST(ResourceManagerTest, StatsSnapshotIsConsistent) {
+  ResourceManager rm;
+  rm.Register("a", 100, Disposition::kMidTerm, PoolId::kGeneral, nullptr);
+  rm.Register("b", 200, Disposition::kPagedAttribute, PoolId::kPagedPool,
+              nullptr);
+  auto s = rm.stats();
+  EXPECT_EQ(s.total_bytes, 300u);
+  EXPECT_EQ(s.resource_count, 2u);
+  EXPECT_EQ(s.pool_bytes[static_cast<int>(PoolId::kGeneral)], 100u);
+  EXPECT_EQ(s.pool_bytes[static_cast<int>(PoolId::kPagedPool)], 200u);
+  EXPECT_EQ(s.reactive_evictions, 0u);
+  EXPECT_EQ(s.proactive_evictions, 0u);
+  EXPECT_EQ(s.evicted_bytes, 0u);
+
+  rm.SetGlobalBudget(150);  // evicts the paged resource first (reactive)
+  s = rm.stats();
+  EXPECT_EQ(s.total_bytes, 100u);
+  EXPECT_EQ(s.evicted_bytes, 200u);
+  EXPECT_EQ(s.reactive_evictions, 1u);
+}
+
+TEST(ResourceManagerTest, TouchRevivesEvictionOrder) {
+  ResourceManager rm;
+  std::vector<int> order;
+  std::vector<ResourceId> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(rm.Register("pg" + std::to_string(i), 100,
+                              Disposition::kPagedAttribute, PoolId::kPagedPool,
+                              [&order, i] { order.push_back(i); }));
+  }
+  // Touch in reverse: LRU order becomes 2, 1, 0.
+  rm.Touch(ids[2]);
+  rm.Touch(ids[1]);
+  rm.Touch(ids[0]);
+  rm.SetPoolLimits(PoolId::kPagedPool, {100, 200});
+  rm.SweepNow();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(ResourceManagerTest, ZeroBudgetMeansUnlimited) {
+  ResourceManager rm;
+  std::atomic<int> evicted{0};
+  for (int i = 0; i < 20; ++i) {
+    rm.Register("r" + std::to_string(i), 1 << 20, Disposition::kTemporary,
+                PoolId::kGeneral, [&] { evicted++; });
+  }
+  EXPECT_EQ(evicted.load(), 0);
+  EXPECT_EQ(rm.total_bytes(), 20u << 20);
+}
+
+TEST(ResourceManagerTest, EvictionCallbackRunsOutsideLock) {
+  // A callback that calls back into the manager must not deadlock.
+  ResourceManager rm;
+  std::atomic<bool> reentered{false};
+  rm.Register("outer", 100, Disposition::kTemporary, PoolId::kGeneral, [&] {
+    // Registration from inside an eviction callback.
+    rm.Register("inner", 1, Disposition::kTemporary, PoolId::kGeneral,
+                nullptr);
+    reentered = true;
+  });
+  rm.SetGlobalBudget(50);
+  EXPECT_TRUE(reentered.load());
+}
+
+TEST(PinnedResourceTest, MoveTransfersOwnership) {
+  ResourceManager rm;
+  ResourceId id =
+      rm.Register("r", 10, Disposition::kMidTerm, PoolId::kGeneral, nullptr);
+  PinnedResource a = PinnedResource::TryPin(&rm, id);
+  ASSERT_TRUE(a.valid());
+  PinnedResource b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.valid());
+  b.Release();
+  EXPECT_FALSE(b.valid());
+  // After release the resource must be evictable again.
+  std::atomic<int> evicted{0};
+  rm.SetGlobalBudget(1);
+  EXPECT_EQ(rm.total_bytes(), 0u);
+  (void)evicted;
+}
+
+}  // namespace
+}  // namespace payg

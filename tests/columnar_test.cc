@@ -1,0 +1,444 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include "buffer/resource_manager.h"
+#include "columnar/delta_fragment.h"
+#include "columnar/dictionary.h"
+#include "columnar/inverted_index.h"
+#include "columnar/resident_fragment.h"
+#include "columnar/value.h"
+#include "common/random.h"
+#include "storage/storage_manager.h"
+
+namespace payg {
+namespace {
+
+TEST(ValueTest, TypedAccessors) {
+  Value i(int64_t{42});
+  Value d(2.5);
+  Value s(std::string("abc"));
+  EXPECT_EQ(i.type(), ValueType::kInt64);
+  EXPECT_EQ(d.type(), ValueType::kDouble);
+  EXPECT_EQ(s.type(), ValueType::kString);
+  EXPECT_EQ(i.AsInt64(), 42);
+  EXPECT_EQ(d.AsDouble(), 2.5);
+  EXPECT_EQ(s.AsString(), "abc");
+}
+
+TEST(ValueTest, CompareWithinType) {
+  EXPECT_LT(Value(int64_t{1}).Compare(Value(int64_t{2})), 0);
+  EXPECT_GT(Value(int64_t{5}).Compare(Value(int64_t{2})), 0);
+  EXPECT_EQ(Value(int64_t{5}).Compare(Value(int64_t{5})), 0);
+  EXPECT_LT(Value(1.5).Compare(Value(2.5)), 0);
+  EXPECT_LT(Value(std::string("a")).Compare(Value(std::string("b"))), 0);
+  EXPECT_TRUE(Value(std::string("x")) == Value(std::string("x")));
+  EXPECT_FALSE(Value(int64_t{1}) == Value(2.0));  // different types: unequal
+}
+
+TEST(ValueTest, EncodeKeyDistinguishesTypesAndValues) {
+  EXPECT_NE(Value(int64_t{1}).EncodeKey(), Value(1.0).EncodeKey());
+  EXPECT_NE(Value(int64_t{1}).EncodeKey(), Value(int64_t{2}).EncodeKey());
+  EXPECT_EQ(Value(std::string("k")).EncodeKey(),
+            Value(std::string("k")).EncodeKey());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{-7}).ToString(), "-7");
+  EXPECT_EQ(Value(std::string("text")).ToString(), "text");
+}
+
+TEST(DictionaryTest, LookupAndBounds) {
+  std::vector<Value> vals;
+  for (int64_t v : {10, 20, 30, 40}) vals.emplace_back(v);
+  Dictionary d = Dictionary::FromSorted(ValueType::kInt64, std::move(vals));
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.GetValue(2).AsInt64(), 30);
+  EXPECT_EQ(*d.FindValueId(Value(int64_t{20})), 1u);
+  EXPECT_FALSE(d.FindValueId(Value(int64_t{25})).has_value());
+  EXPECT_EQ(d.LowerBound(Value(int64_t{25})), 2u);
+  EXPECT_EQ(d.LowerBound(Value(int64_t{20})), 1u);
+  EXPECT_EQ(d.UpperBound(Value(int64_t{20})), 2u);
+  EXPECT_EQ(d.LowerBound(Value(int64_t{100})), 4u);
+  EXPECT_EQ(d.LowerBound(Value(int64_t{0})), 0u);
+}
+
+TEST(DictionaryTest, StringOrderPreserving) {
+  std::vector<Value> vals;
+  for (const char* s : {"ant", "bee", "cat", "dog"}) {
+    vals.emplace_back(std::string(s));
+  }
+  Dictionary d = Dictionary::FromSorted(ValueType::kString, std::move(vals));
+  // Order-preserving property: vid order == value order.
+  for (ValueId v = 0; v + 1 < d.size(); ++v) {
+    EXPECT_LT(d.GetValue(v).Compare(d.GetValue(v + 1)), 0);
+  }
+}
+
+TEST(InvertedIndexTest, DirectoryAndPostings) {
+  //            rows: 0  1  2  3  4  5
+  std::vector<ValueId> vids{2, 0, 2, 1, 0, 2};
+  InvertedIndex idx = InvertedIndex::Build(vids, 3);
+  EXPECT_FALSE(idx.unique());
+  auto p0 = idx.Lookup(0);
+  EXPECT_EQ(std::vector<RowPos>(p0.begin(), p0.end()),
+            (std::vector<RowPos>{1, 4}));
+  auto p1 = idx.Lookup(1);
+  EXPECT_EQ(std::vector<RowPos>(p1.begin(), p1.end()),
+            (std::vector<RowPos>{3}));
+  auto p2 = idx.Lookup(2);
+  EXPECT_EQ(std::vector<RowPos>(p2.begin(), p2.end()),
+            (std::vector<RowPos>{0, 2, 5}));
+}
+
+TEST(InvertedIndexTest, UniqueDropsDirectory) {
+  std::vector<ValueId> vids{3, 0, 2, 1};
+  InvertedIndex idx = InvertedIndex::Build(vids, 4);
+  EXPECT_TRUE(idx.unique());
+  EXPECT_TRUE(idx.directory().empty());
+  for (ValueId v = 0; v < 4; ++v) {
+    auto p = idx.Lookup(v);
+    ASSERT_EQ(p.size(), 1u);
+    EXPECT_EQ(vids[p[0]], v);
+  }
+}
+
+TEST(InvertedIndexTest, PostingsAscendWithinVid) {
+  Random rng(11);
+  std::vector<ValueId> vids;
+  for (int i = 0; i < 5000; ++i) {
+    vids.push_back(static_cast<ValueId>(rng.Uniform(17)));
+  }
+  InvertedIndex idx = InvertedIndex::Build(vids, 17);
+  uint64_t total = 0;
+  for (ValueId v = 0; v < 17; ++v) {
+    auto p = idx.Lookup(v);
+    total += p.size();
+    EXPECT_TRUE(std::is_sorted(p.begin(), p.end()));
+    for (RowPos r : p) EXPECT_EQ(vids[r], v);
+  }
+  EXPECT_EQ(total, vids.size());
+}
+
+TEST(DeltaFragmentTest, AppendInternsValues) {
+  DeltaFragment delta(ValueType::kString);
+  EXPECT_EQ(delta.Append(Value(std::string("x"))), 0u);
+  EXPECT_EQ(delta.Append(Value(std::string("y"))), 1u);
+  EXPECT_EQ(delta.Append(Value(std::string("x"))), 2u);
+  EXPECT_EQ(delta.row_count(), 3u);
+  EXPECT_EQ(delta.dict_size(), 2u);  // "x" interned once
+  EXPECT_EQ(delta.GetVid(0), delta.GetVid(2));
+  EXPECT_EQ(delta.GetValue(delta.GetVid(1)).AsString(), "y");
+}
+
+TEST(DeltaFragmentTest, DictionaryIsArrivalOrdered) {
+  DeltaFragment delta(ValueType::kInt64);
+  delta.Append(Value(int64_t{50}));
+  delta.Append(Value(int64_t{10}));
+  delta.Append(Value(int64_t{30}));
+  // The delta dictionary is NOT order-preserving (write-optimized, §2).
+  EXPECT_EQ(delta.GetValue(0).AsInt64(), 50);
+  EXPECT_EQ(delta.GetValue(1).AsInt64(), 10);
+  EXPECT_EQ(delta.GetValue(2).AsInt64(), 30);
+}
+
+TEST(DeltaFragmentTest, FindRowsAndRangeScan) {
+  DeltaFragment delta(ValueType::kInt64);
+  for (int64_t v : {5, 8, 5, 12, 8, 5}) delta.Append(Value(v));
+  std::vector<RowPos> rows;
+  delta.FindRows(Value(int64_t{5}), &rows);
+  EXPECT_EQ(rows, (std::vector<RowPos>{0, 2, 5}));
+  rows.clear();
+  delta.FindRows(Value(int64_t{99}), &rows);
+  EXPECT_TRUE(rows.empty());
+  rows.clear();
+  delta.FindRowsInRange(Value(int64_t{6}), Value(int64_t{12}), &rows);
+  EXPECT_EQ(rows, (std::vector<RowPos>{1, 3, 4}));
+}
+
+TEST(DeltaFragmentTest, ClearResets) {
+  DeltaFragment delta(ValueType::kInt64);
+  delta.Append(Value(int64_t{1}));
+  delta.Clear();
+  EXPECT_EQ(delta.row_count(), 0u);
+  EXPECT_EQ(delta.dict_size(), 0u);
+  EXPECT_TRUE(delta.empty());
+}
+
+// ---------------------------------------------------------------------------
+// FullyResidentFragment
+// ---------------------------------------------------------------------------
+
+class ResidentFragmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/payg_resident_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::remove_all(dir_);
+    StorageOptions opts;
+    opts.page_size = 16 * 1024;  // small pages → multi-page chains in tests
+    auto sm = StorageManager::Open(dir_, opts);
+    ASSERT_TRUE(sm.ok());
+    storage_ = std::move(*sm);
+    rm_ = std::make_unique<ResourceManager>();
+  }
+
+  void TearDown() override {
+    storage_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  // An int64 column with `rows` rows over `cardinality` distinct values.
+  std::unique_ptr<FullyResidentFragment> BuildIntFragment(
+      const std::string& name, uint64_t rows, uint64_t cardinality,
+      bool with_index) {
+    std::vector<Value> dict_values;
+    for (uint64_t i = 0; i < cardinality; ++i) {
+      dict_values.emplace_back(static_cast<int64_t>(i * 10));
+    }
+    Random rng(42);
+    std::vector<ValueId> vids;
+    for (uint64_t i = 0; i < rows; ++i) {
+      vids.push_back(static_cast<ValueId>(rng.Uniform(cardinality)));
+    }
+    vids_ = vids;
+    auto frag = FullyResidentFragment::Build(storage_.get(), rm_.get(), name,
+                                             ValueType::kInt64, dict_values,
+                                             vids, with_index);
+    EXPECT_TRUE(frag.ok()) << frag.status().ToString();
+    return std::move(*frag);
+  }
+
+  std::string dir_;
+  std::unique_ptr<StorageManager> storage_;
+  std::unique_ptr<ResourceManager> rm_;
+  std::vector<ValueId> vids_;
+};
+
+TEST_F(ResidentFragmentTest, BuildReportsMetadataWithoutLoading) {
+  auto frag = BuildIntFragment("c1", 10000, 100, true);
+  EXPECT_EQ(frag->row_count(), 10000u);
+  EXPECT_EQ(frag->dict_size(), 100u);
+  EXPECT_TRUE(frag->has_index());
+  EXPECT_FALSE(frag->is_paged());
+  EXPECT_EQ(frag->ResidentBytes(), 0u);  // not loaded yet
+  EXPECT_EQ(frag->load_count(), 0u);
+}
+
+TEST_F(ResidentFragmentTest, FirstReaderTriggersFullLoad) {
+  auto frag = BuildIntFragment("c1", 10000, 100, false);
+  auto reader = frag->NewReader();
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(frag->load_count(), 1u);
+  EXPECT_GT(frag->ResidentBytes(), 0u);
+  EXPECT_GT(frag->last_load_nanos(), 0u);
+  // Second reader: no reload.
+  auto reader2 = frag->NewReader();
+  ASSERT_TRUE(reader2.ok());
+  EXPECT_EQ(frag->load_count(), 1u);
+}
+
+TEST_F(ResidentFragmentTest, ReadsMatchSourceData) {
+  auto frag = BuildIntFragment("c1", 5000, 64, true);
+  auto reader = frag->NewReader();
+  ASSERT_TRUE(reader.ok());
+  // Point gets.
+  for (RowPos r : {0u, 1u, 999u, 4999u}) {
+    auto vid = (*reader)->GetVid(r);
+    ASSERT_TRUE(vid.ok());
+    EXPECT_EQ(*vid, vids_[r]);
+    auto val = (*reader)->GetValueForVid(*vid);
+    ASSERT_TRUE(val.ok());
+    EXPECT_EQ(val->AsInt64(), static_cast<int64_t>(vids_[r] * 10));
+  }
+  // MGet.
+  std::vector<ValueId> got;
+  ASSERT_TRUE((*reader)->MGetVids(100, 200, &got).ok());
+  ASSERT_EQ(got.size(), 100u);
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], vids_[100 + i]);
+  // FindRows via index.
+  std::vector<RowPos> rows;
+  ASSERT_TRUE((*reader)->FindRows(7, &rows).ok());
+  for (RowPos r : rows) EXPECT_EQ(vids_[r], 7u);
+  std::vector<RowPos> expect;
+  for (RowPos r = 0; r < vids_.size(); ++r) {
+    if (vids_[r] == 7u) expect.push_back(r);
+  }
+  EXPECT_EQ(rows, expect);
+}
+
+TEST_F(ResidentFragmentTest, FindRowsWithoutIndexScans) {
+  auto frag = BuildIntFragment("c1", 3000, 32, false);
+  auto reader = frag->NewReader();
+  ASSERT_TRUE(reader.ok());
+  std::vector<RowPos> rows;
+  ASSERT_TRUE((*reader)->FindRows(3, &rows).ok());
+  std::vector<RowPos> expect;
+  for (RowPos r = 0; r < vids_.size(); ++r) {
+    if (vids_[r] == 3u) expect.push_back(r);
+  }
+  EXPECT_EQ(rows, expect);
+}
+
+TEST_F(ResidentFragmentTest, DictionarySearchApis) {
+  auto frag = BuildIntFragment("c1", 1000, 50, false);
+  auto reader = frag->NewReader();
+  ASSERT_TRUE(reader.ok());
+  auto vid = (*reader)->FindValueId(Value(int64_t{120}));
+  ASSERT_TRUE(vid.ok());
+  EXPECT_EQ(*vid, 12u);
+  auto missing = (*reader)->FindValueId(Value(int64_t{121}));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(*missing, kInvalidValueId);
+  EXPECT_EQ(*(*reader)->LowerBoundVid(Value(int64_t{121})), 13u);
+  EXPECT_EQ(*(*reader)->UpperBoundVid(Value(int64_t{120})), 13u);
+}
+
+TEST_F(ResidentFragmentTest, UnloadAndReload) {
+  auto frag = BuildIntFragment("c1", 10000, 100, true);
+  {
+    auto reader = frag->NewReader();
+    ASSERT_TRUE(reader.ok());
+  }
+  EXPECT_GT(frag->ResidentBytes(), 0u);
+  frag->Unload();
+  EXPECT_EQ(frag->ResidentBytes(), 0u);
+  EXPECT_EQ(rm_->total_bytes(), 0u);
+  auto reader = frag->NewReader();
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(frag->load_count(), 2u);
+  auto vid = (*reader)->GetVid(123);
+  ASSERT_TRUE(vid.ok());
+  EXPECT_EQ(*vid, vids_[123]);
+}
+
+TEST_F(ResidentFragmentTest, EvictionByBudgetUnloadsColumn) {
+  auto frag = BuildIntFragment("c1", 10000, 100, false);
+  {
+    auto reader = frag->NewReader();
+    ASSERT_TRUE(reader.ok());
+    // Reader holds a pin: eviction pressure cannot unload the column now.
+    rm_->SetGlobalBudget(1);
+    EXPECT_GT(frag->ResidentBytes(), 0u);
+  }
+  // Pin released: the next pressure event unloads it.
+  rm_->SetGlobalBudget(1);
+  EXPECT_EQ(frag->ResidentBytes(), 0u);
+  rm_->SetGlobalBudget(0);
+  auto reader = frag->NewReader();
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(frag->load_count(), 2u);
+}
+
+TEST_F(ResidentFragmentTest, OpenExistingFragment) {
+  BuildIntFragment("persisted", 2000, 16, true);
+  auto reopened = FullyResidentFragment::Open(storage_.get(), rm_.get(),
+                                              "persisted");
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->row_count(), 2000u);
+  EXPECT_EQ((*reopened)->dict_size(), 16u);
+  EXPECT_TRUE((*reopened)->has_index());
+  auto reader = (*reopened)->NewReader();
+  ASSERT_TRUE(reader.ok());
+  auto vid = (*reader)->GetVid(1500);
+  ASSERT_TRUE(vid.ok());
+  EXPECT_EQ(*vid, vids_[1500]);
+}
+
+TEST_F(ResidentFragmentTest, StringColumnRoundtrip) {
+  std::vector<Value> dict_values;
+  for (int i = 0; i < 26; ++i) {
+    dict_values.emplace_back(std::string(3, static_cast<char>('a' + i)));
+  }
+  std::vector<ValueId> vids;
+  Random rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    vids.push_back(static_cast<ValueId>(rng.Uniform(26)));
+  }
+  auto frag = FullyResidentFragment::Build(storage_.get(), rm_.get(), "str",
+                                           ValueType::kString, dict_values,
+                                           vids, false);
+  ASSERT_TRUE(frag.ok());
+  auto reader = (*frag)->NewReader();
+  ASSERT_TRUE(reader.ok());
+  auto v = (*reader)->GetValueForVid(2);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "ccc");
+  auto vid = (*reader)->FindValueId(Value(std::string("zzz")));
+  ASSERT_TRUE(vid.ok());
+  EXPECT_EQ(*vid, 25u);
+}
+
+TEST_F(ResidentFragmentTest, SparseCodecChosenForSkewedColumns) {
+  // 80% of rows hold vid 0 → the build must pick sparse encoding, and every
+  // read path must agree with the source data.
+  std::vector<Value> dict_values;
+  for (int64_t i = 0; i < 30; ++i) dict_values.emplace_back(i * 2);
+  Random rng(55);
+  std::vector<ValueId> vids;
+  for (int i = 0; i < 20000; ++i) {
+    vids.push_back(rng.NextDouble() < 0.8
+                       ? 0
+                       : static_cast<ValueId>(rng.Uniform(30)));
+  }
+  auto frag = FullyResidentFragment::Build(storage_.get(), rm_.get(),
+                                           "skew", ValueType::kInt64,
+                                           dict_values, vids, false);
+  ASSERT_TRUE(frag.ok());
+  EXPECT_EQ((*frag)->codec(), FullyResidentFragment::Codec::kSparse);
+
+  auto reader = (*frag)->NewReader();
+  ASSERT_TRUE(reader.ok());
+  for (RowPos r : {0u, 63u, 64u, 9999u, 19999u}) {
+    auto vid = (*reader)->GetVid(r);
+    ASSERT_TRUE(vid.ok());
+    EXPECT_EQ(*vid, vids[r]);
+  }
+  std::vector<ValueId> got;
+  ASSERT_TRUE((*reader)->MGetVids(500, 1500, &got).ok());
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], vids[500 + i]);
+  std::vector<RowPos> rows;
+  ASSERT_TRUE((*reader)->FindRows(0, &rows).ok());  // the dominant vid
+  std::vector<RowPos> expect;
+  for (RowPos r = 0; r < vids.size(); ++r) {
+    if (vids[r] == 0u) expect.push_back(r);
+  }
+  EXPECT_EQ(rows, expect);
+  rows.clear();
+  ASSERT_TRUE((*reader)->SearchVidRange(100, 15000, 5, 12, &rows).ok());
+  expect.clear();
+  for (RowPos r = 100; r < 15000; ++r) {
+    if (vids[r] >= 5 && vids[r] <= 12) expect.push_back(r);
+  }
+  EXPECT_EQ(rows, expect);
+
+  // Unload + reload through the sparse persistence path.
+  (*frag)->Unload();
+  auto reader2 = (*frag)->NewReader();
+  ASSERT_TRUE(reader2.ok());
+  auto vid = (*reader2)->GetVid(12345);
+  ASSERT_TRUE(vid.ok());
+  EXPECT_EQ(*vid, vids[12345]);
+}
+
+TEST_F(ResidentFragmentTest, PackedCodecChosenForUniformColumns) {
+  auto frag = BuildIntFragment("uniform", 5000, 64, false);
+  EXPECT_EQ(frag->codec(), FullyResidentFragment::Codec::kPacked);
+}
+
+TEST_F(ResidentFragmentTest, SearchVidRangeOnDataVector) {
+  auto frag = BuildIntFragment("c1", 4000, 40, false);
+  auto reader = frag->NewReader();
+  ASSERT_TRUE(reader.ok());
+  std::vector<RowPos> rows;
+  ASSERT_TRUE((*reader)->SearchVidRange(500, 1500, 10, 19, &rows).ok());
+  std::vector<RowPos> expect;
+  for (RowPos r = 500; r < 1500; ++r) {
+    if (vids_[r] >= 10 && vids_[r] <= 19) expect.push_back(r);
+  }
+  EXPECT_EQ(rows, expect);
+}
+
+}  // namespace
+}  // namespace payg

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bit_util.h"
+#include "common/crc32.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace payg {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing column");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing column");
+  EXPECT_EQ(s.ToString(), "NotFound: missing column");
+}
+
+TEST(StatusTest, PredicatesMatchOnlyTheirCode) {
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_FALSE(Status::Corruption("x").IsNotFound());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnsupported), "Unsupported");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  PAYG_ASSIGN_OR_RETURN(int h, Half(x));
+  PAYG_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  auto bad = Quarter(6);  // 6/2 = 3, second Half fails
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BitUtilTest, BitsNeeded) {
+  EXPECT_EQ(BitsNeeded(0), 1u);
+  EXPECT_EQ(BitsNeeded(1), 1u);
+  EXPECT_EQ(BitsNeeded(2), 2u);
+  EXPECT_EQ(BitsNeeded(3), 2u);
+  EXPECT_EQ(BitsNeeded(4), 3u);
+  EXPECT_EQ(BitsNeeded(255), 8u);
+  EXPECT_EQ(BitsNeeded(256), 9u);
+  EXPECT_EQ(BitsNeeded(~uint64_t{0}), 64u);
+}
+
+TEST(BitUtilTest, LowMask) {
+  EXPECT_EQ(LowMask(0), 0u);
+  EXPECT_EQ(LowMask(1), 1u);
+  EXPECT_EQ(LowMask(8), 0xFFu);
+  EXPECT_EQ(LowMask(32), 0xFFFFFFFFu);
+  EXPECT_EQ(LowMask(64), ~uint64_t{0});
+}
+
+TEST(BitUtilTest, AlignAndCeil) {
+  EXPECT_EQ(AlignUp(0, 8), 0u);
+  EXPECT_EQ(AlignUp(1, 8), 8u);
+  EXPECT_EQ(AlignUp(8, 8), 8u);
+  EXPECT_EQ(AlignUp(9, 8), 16u);
+  EXPECT_EQ(CeilDiv(0, 7), 0u);
+  EXPECT_EQ(CeilDiv(1, 7), 1u);
+  EXPECT_EQ(CeilDiv(7, 7), 1u);
+  EXPECT_EQ(CeilDiv(8, 7), 2u);
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(48));
+}
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    uint64_t v = rng.UniformRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, CoversTheRange) {
+  Random rng(99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32C("123456789") is the classic check value 0xE3069283.
+  const char* data = "123456789";
+  EXPECT_EQ(Crc32c(data, 9), 0xE3069283u);
+}
+
+TEST(Crc32Test, EmptyInputIsZero) { EXPECT_EQ(Crc32c("", 0), 0u); }
+
+TEST(Crc32Test, SensitiveToEveryByte) {
+  std::string a(128, 'a');
+  uint32_t base = Crc32c(a.data(), a.size());
+  for (size_t i = 0; i < a.size(); i += 17) {
+    std::string b = a;
+    b[i] ^= 1;
+    EXPECT_NE(Crc32c(b.data(), b.size()), base) << "byte " << i;
+  }
+}
+
+}  // namespace
+}  // namespace payg

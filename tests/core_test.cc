@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/column_store.h"
+#include "workload/erp.h"
+
+namespace payg {
+namespace {
+
+class ColumnStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/payg_core_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::remove_all(dir_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  ColumnStoreOptions Options() {
+    ColumnStoreOptions options;
+    options.directory = dir_;
+    options.storage.page_size = 16 * 1024;
+    options.storage.dict_page_size = 32 * 1024;
+    return options;
+  }
+
+  TableSchema SimpleSchema(const std::string& name, bool paged) {
+    TableSchema schema;
+    schema.name = name;
+    schema.columns.push_back({"k", ValueType::kString, paged, true, true});
+    schema.columns.push_back({"v", ValueType::kInt64, paged, false, false});
+    return schema;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ColumnStoreTest, OpenCreatesDirectory) {
+  auto store = ColumnStore::Open(Options());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE(std::filesystem::exists(dir_));
+  EXPECT_EQ((*store)->MemoryFootprint(), 0u);
+}
+
+TEST_F(ColumnStoreTest, TableLifecycle) {
+  auto store = ColumnStore::Open(Options());
+  ASSERT_TRUE(store.ok());
+  auto table = (*store)->CreateTable(SimpleSchema("t1", false));
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE((*store)->CreateTable(SimpleSchema("t1", false)).status()
+                  .code() == StatusCode::kAlreadyExists);
+  auto fetched = (*store)->GetTable("t1");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(*fetched, *table);
+  EXPECT_FALSE((*store)->GetTable("nope").ok());
+  ASSERT_TRUE((*store)->DropTable("t1").ok());
+  EXPECT_FALSE((*store)->GetTable("t1").ok());
+  EXPECT_FALSE((*store)->DropTable("t1").ok());
+}
+
+TEST_F(ColumnStoreTest, EmptySchemaRejected) {
+  auto store = ColumnStore::Open(Options());
+  ASSERT_TRUE(store.ok());
+  TableSchema empty;
+  empty.name = "e";
+  EXPECT_FALSE((*store)->CreateTable(empty).ok());
+}
+
+TEST_F(ColumnStoreTest, EndToEndInsertMergeQuery) {
+  auto store = ColumnStore::Open(Options());
+  ASSERT_TRUE(store.ok());
+  auto table = (*store)->CreateTable(SimpleSchema("t", true));
+  ASSERT_TRUE(table.ok());
+  for (int i = 0; i < 500; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "K%06d", i);
+    ASSERT_TRUE(
+        (*table)->Insert({Value(std::string(buf)), Value(int64_t{i})}).ok());
+  }
+  ASSERT_TRUE((*table)->MergeAll().ok());
+  auto result = (*table)->SelectByValue("k", Value(std::string("K000123")),
+                                        {"v"});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].AsInt64(), 123);
+  EXPECT_GT((*store)->MemoryFootprint(), 0u);
+}
+
+TEST_F(ColumnStoreTest, MemoryBudgetTriggersEviction) {
+  auto options = Options();
+  options.memory_budget = 64 * 1024;  // tight budget
+  auto store = ColumnStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  auto table = (*store)->CreateTable(SimpleSchema("t", true));
+  ASSERT_TRUE(table.ok());
+  for (int i = 0; i < 2000; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "K%06d", i);
+    ASSERT_TRUE(
+        (*table)->Insert({Value(std::string(buf)), Value(int64_t{i})}).ok());
+  }
+  ASSERT_TRUE((*table)->MergeAll().ok());
+  // Run a bunch of point queries; the budget keeps the footprint bounded
+  // (pins make small transient overshoots possible).
+  for (int i = 0; i < 50; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "K%06d", (i * 37) % 2000);
+    auto result = (*table)->SelectByValue("k", Value(std::string(buf)), {"v"});
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result->rows.size(), 1u);
+  }
+  EXPECT_LE((*store)->MemoryFootprint(), options.memory_budget * 2);
+  EXPECT_GT((*store)->resource_manager().stats().reactive_evictions, 0u);
+}
+
+TEST_F(ColumnStoreTest, PagedPoolLimitsBoundColdFootprint) {
+  auto options = Options();
+  options.paged_pool_limits = {32 * 1024, 96 * 1024};
+  auto store = ColumnStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  auto table = (*store)->CreateTable(SimpleSchema("t", true));
+  ASSERT_TRUE(table.ok());
+  for (int i = 0; i < 3000; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "K%06d", i);
+    ASSERT_TRUE(
+        (*table)->Insert({Value(std::string(buf)), Value(int64_t{i})}).ok());
+  }
+  ASSERT_TRUE((*table)->MergeAll().ok());
+  for (int i = 0; i < 200; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "K%06d", (i * 17) % 3000);
+    auto result = (*table)->SelectByValue("k", Value(std::string(buf)), {"v"});
+    ASSERT_TRUE(result.ok());
+  }
+  (*store)->resource_manager().SweepNow();
+  EXPECT_LE((*store)->resource_manager().pool_bytes(PoolId::kPagedPool),
+            options.paged_pool_limits.upper);
+}
+
+TEST_F(ColumnStoreTest, CheckpointAndReopen) {
+  // Phase 1: create a store with hot/cold data, checkpoint, close.
+  {
+    auto store = ColumnStore::Open(Options());
+    ASSERT_TRUE(store.ok());
+    TableSchema schema = SimpleSchema("persist", true);
+    schema.columns.push_back(
+        {"age_date", ValueType::kInt64, true, false, false});
+    schema.temperature_column = 2;
+    auto table = (*store)->CreateTable(schema);
+    ASSERT_TRUE(table.ok());
+    for (int i = 0; i < 400; ++i) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "K%06d", i);
+      ASSERT_TRUE((*table)
+                      ->Insert({Value(std::string(buf)), Value(int64_t{i}),
+                                Value(int64_t{i / 10})})
+                      .ok());
+    }
+    ASSERT_TRUE((*table)->MergeAll().ok());
+    ASSERT_TRUE((*table)->AddColdPartition().ok());
+    ASSERT_TRUE((*table)->AgeRows(Value(int64_t{19})).ok());  // 200 rows
+    ASSERT_TRUE((*store)->Checkpoint().ok());
+  }
+
+  // Phase 2: reopen; the table, both partitions and all data must be back.
+  auto store = ColumnStore::Open(Options());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  auto table = (*store)->GetTable("persist");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ((*table)->partition_count(), 2u);
+  EXPECT_EQ((*table)->visible_row_count(), 400u);
+  EXPECT_EQ((*table)->hot()->main_row_count(), 200u);
+  EXPECT_EQ((*table)->partition(1)->main_row_count(), 200u);
+  EXPECT_TRUE((*table)->partition(1)->cold());
+  for (int i : {0, 150, 199, 200, 399}) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "K%06d", i);
+    auto r = (*table)->SelectByValue("k", Value(std::string(buf)), {"v"});
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->rows.size(), 1u) << "key " << i;
+    EXPECT_EQ(r->rows[0][0].AsInt64(), i);
+  }
+  // And the reopened store keeps working: new inserts + another checkpoint.
+  ASSERT_TRUE((*table)
+                  ->Insert({Value(std::string("K999999")),
+                            Value(int64_t{999999}), Value(int64_t{99})})
+                  .ok());
+  ASSERT_TRUE((*store)->Checkpoint().ok());
+  auto r = (*table)->SelectByValue("k", Value(std::string("K999999")), {"v"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+}
+
+TEST_F(ColumnStoreTest, FreshDirectoryHasNoCatalog) {
+  auto store = ColumnStore::Open(Options());
+  ASSERT_TRUE(store.ok());
+  EXPECT_FALSE((*store)->GetTable("anything").ok());
+}
+
+TEST_F(ColumnStoreTest, ErpWorkloadThroughFacade) {
+  auto store = ColumnStore::Open(Options());
+  ASSERT_TRUE(store.ok());
+  ErpConfig config;
+  config.rows = 2000;
+  config.variant = TableVariant::kPagedAll;
+  auto table = (*store)->CreateTable(MakeErpSchema(config, "erp"));
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(PopulateErpTable(*table, config).ok());
+  ErpWorkload workload(config, 23);
+  auto result =
+      (*table)->SelectByValue("pk", workload.PkOfRow(workload.RandomRow()), {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace payg

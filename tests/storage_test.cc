@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "storage/byte_stream.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+#include "storage/storage_manager.h"
+
+namespace payg {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/payg_storage_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::remove_all(dir_);
+    auto sm = StorageManager::Open(dir_, StorageOptions());
+    ASSERT_TRUE(sm.ok()) << sm.status().ToString();
+    storage_ = std::move(*sm);
+  }
+
+  void TearDown() override {
+    storage_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string dir_;
+  std::unique_ptr<StorageManager> storage_;
+};
+
+TEST_F(StorageTest, PageHeaderIs64Bytes) {
+  EXPECT_EQ(sizeof(PageHeader), 64u);
+  Page p(4096);
+  EXPECT_EQ(p.capacity(), 4096u - 64u);
+}
+
+TEST_F(StorageTest, PageChecksumRoundtrip) {
+  Page p(4096);
+  std::memcpy(p.payload(), "hello world", 11);
+  p.set_payload_size(11);
+  p.SealChecksum();
+  EXPECT_TRUE(p.VerifyChecksum());
+  p.payload()[3] ^= 0xFF;
+  EXPECT_FALSE(p.VerifyChecksum());
+}
+
+TEST_F(StorageTest, AppendAndReadBack) {
+  auto file = storage_->CreateChain("chain", 4096);
+  ASSERT_TRUE(file.ok());
+  for (int i = 0; i < 10; ++i) {
+    Page p(4096);
+    p.set_type(PageType::kDataVector);
+    std::string content = "page " + std::to_string(i);
+    std::memcpy(p.payload(), content.data(), content.size());
+    p.set_payload_size(static_cast<uint32_t>(content.size()));
+    auto lpn = (*file)->AppendPage(&p);
+    ASSERT_TRUE(lpn.ok());
+    EXPECT_EQ(*lpn, static_cast<LogicalPageNo>(i));
+  }
+  EXPECT_EQ((*file)->page_count(), 10u);
+  Page p(4096);
+  for (int i = 9; i >= 0; --i) {
+    ASSERT_TRUE((*file)->ReadPage(i, &p).ok());
+    std::string expect = "page " + std::to_string(i);
+    EXPECT_EQ(std::string(reinterpret_cast<char*>(p.payload()),
+                          p.payload_size()),
+              expect);
+    EXPECT_EQ(p.type(), PageType::kDataVector);
+    EXPECT_EQ(p.header()->logical_page_no, static_cast<LogicalPageNo>(i));
+  }
+}
+
+TEST_F(StorageTest, ReadPastEndFails) {
+  auto file = storage_->CreateChain("chain", 4096);
+  ASSERT_TRUE(file.ok());
+  Page p(4096);
+  auto s = (*file)->ReadPage(0, &p);
+  EXPECT_TRUE(s.IsOutOfRange());
+}
+
+TEST_F(StorageTest, ReopenExistingChain) {
+  {
+    auto file = storage_->CreateChain("persist", 4096);
+    ASSERT_TRUE(file.ok());
+    Page p(4096);
+    p.set_payload_size(0);
+    ASSERT_TRUE((*file)->AppendPage(&p).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+  }
+  auto reopened = storage_->OpenChain("persist", 4096);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->page_count(), 1u);
+}
+
+TEST_F(StorageTest, OpenMissingChainFails) {
+  auto r = storage_->OpenChain("does_not_exist", 4096);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST_F(StorageTest, CorruptionIsDetected) {
+  auto file = storage_->CreateChain("corrupt", 4096);
+  ASSERT_TRUE(file.ok());
+  Page p(4096);
+  std::memcpy(p.payload(), "sensitive", 9);
+  p.set_payload_size(9);
+  ASSERT_TRUE((*file)->AppendPage(&p).ok());
+  file->reset();
+
+  // Flip a payload byte directly in the file.
+  {
+    std::string path = dir_ + "/corrupt";
+    FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 64 + 2, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_EQ(std::fseek(f, 64 + 2, SEEK_SET), 0);
+    std::fputc(c ^ 0xFF, f);
+    std::fclose(f);
+  }
+  auto reopened = storage_->OpenChain("corrupt", 4096);
+  ASSERT_TRUE(reopened.ok());
+  Page q(4096);
+  auto s = (*reopened)->ReadPage(0, &q);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST_F(StorageTest, MismatchedPageSizeOnOpenFails) {
+  {
+    auto file = storage_->CreateChain("sized", 4096);
+    ASSERT_TRUE(file.ok());
+    Page p(4096);
+    ASSERT_TRUE((*file)->AppendPage(&p).ok());
+  }
+  auto r = storage_->OpenChain("sized", 4096 * 3);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST_F(StorageTest, IoStatsCountTraffic) {
+  auto file = storage_->CreateChain("stats", 4096);
+  ASSERT_TRUE(file.ok());
+  Page p(4096);
+  ASSERT_TRUE((*file)->AppendPage(&p).ok());
+  ASSERT_TRUE((*file)->AppendPage(&p).ok());
+  ASSERT_TRUE((*file)->ReadPage(1, &p).ok());
+  EXPECT_EQ(storage_->io_stats().pages_written.load(), 2u);
+  EXPECT_EQ(storage_->io_stats().pages_read.load(), 1u);
+  EXPECT_EQ(storage_->io_stats().bytes_written.load(), 2u * 4096u);
+}
+
+TEST_F(StorageTest, DropChainRemovesFile) {
+  {
+    auto file = storage_->CreateChain("gone", 4096);
+    ASSERT_TRUE(file.ok());
+  }
+  ASSERT_TRUE(storage_->DropChain("gone").ok());
+  EXPECT_FALSE(storage_->OpenChain("gone", 4096).ok());
+}
+
+TEST_F(StorageTest, ByteStreamRoundtripAcrossPages) {
+  auto file = storage_->CreateChain("stream", 4096);
+  ASSERT_TRUE(file.ok());
+  Random rng(5);
+  std::vector<uint64_t> numbers;
+  std::vector<std::string> strings;
+  {
+    ChainByteWriter w(file->get());
+    w.PutU8(0xAB);
+    for (int i = 0; i < 2000; ++i) {  // well past one page
+      uint64_t v = rng.Next();
+      numbers.push_back(v);
+      w.PutU64(v);
+    }
+    for (int i = 0; i < 50; ++i) {
+      std::string s(rng.Uniform(300), static_cast<char>('a' + i % 26));
+      strings.push_back(s);
+      w.PutString(s);
+    }
+    w.PutI64(-123456789);
+    w.PutDouble(3.5);
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  EXPECT_GT((*file)->page_count(), 3u);
+  ChainByteReader r(file->get());
+  auto u8 = r.GetU8();
+  ASSERT_TRUE(u8.ok());
+  EXPECT_EQ(*u8, 0xAB);
+  for (uint64_t expect : numbers) {
+    auto v = r.GetU64();
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, expect);
+  }
+  for (const std::string& expect : strings) {
+    auto s = r.GetString();
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(*s, expect);
+  }
+  auto i = r.GetI64();
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(*i, -123456789);
+  auto d = r.GetDouble();
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, 3.5);
+  // Stream exhausted now.
+  EXPECT_TRUE(r.GetU64().status().IsOutOfRange());
+}
+
+TEST_F(StorageTest, ByteStreamEmptyStream) {
+  auto file = storage_->CreateChain("empty", 4096);
+  ASSERT_TRUE(file.ok());
+  {
+    ChainByteWriter w(file->get());
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  EXPECT_EQ((*file)->page_count(), 1u);  // one empty page marks the stream
+  ChainByteReader r(file->get());
+  EXPECT_TRUE(r.GetU8().status().IsOutOfRange());
+}
+
+TEST_F(StorageTest, NonCriticalChainsUseScmLatency) {
+  StorageOptions opts;
+  opts.simulated_read_latency_us = 5000;  // "disk"
+  opts.scm_for_noncritical = true;
+  opts.scm_read_latency_us = 0;  // SCM modeled as free here
+  auto sm = StorageManager::Open(dir_ + "/scm", opts);
+  ASSERT_TRUE(sm.ok());
+
+  auto disk_chain = (*sm)->CreateChain("critical", 4096);
+  ASSERT_TRUE(disk_chain.ok());
+  auto scm_chain = (*sm)->CreateNonCriticalChain("rebuildable", 4096);
+  ASSERT_TRUE(scm_chain.ok());
+  Page p(4096);
+  ASSERT_TRUE((*disk_chain)->AppendPage(&p).ok());
+  ASSERT_TRUE((*scm_chain)->AppendPage(&p).ok());
+
+  Stopwatch disk_timer;
+  ASSERT_TRUE((*disk_chain)->ReadPage(0, &p).ok());
+  double disk_ms = disk_timer.ElapsedMillis();
+  Stopwatch scm_timer;
+  ASSERT_TRUE((*scm_chain)->ReadPage(0, &p).ok());
+  double scm_ms = scm_timer.ElapsedMillis();
+  EXPECT_GE(disk_ms, 4.0);
+  EXPECT_LT(scm_ms, disk_ms / 4);
+}
+
+TEST_F(StorageTest, NonCriticalChainsMatchDiskWhenScmDisabled) {
+  StorageOptions opts;
+  opts.simulated_read_latency_us = 2000;
+  opts.scm_for_noncritical = false;
+  auto sm = StorageManager::Open(dir_ + "/noscm", opts);
+  ASSERT_TRUE(sm.ok());
+  auto chain = (*sm)->CreateNonCriticalChain("x", 4096);
+  ASSERT_TRUE(chain.ok());
+  Page p(4096);
+  ASSERT_TRUE((*chain)->AppendPage(&p).ok());
+  Stopwatch timer;
+  ASSERT_TRUE((*chain)->ReadPage(0, &p).ok());
+  EXPECT_GE(timer.ElapsedMillis(), 1.5);
+}
+
+TEST_F(StorageTest, SimulatedLatencySlowsReads) {
+  StorageOptions opts;
+  opts.simulated_read_latency_us = 2000;
+  auto slow_sm = StorageManager::Open(dir_ + "/slow", opts);
+  ASSERT_TRUE(slow_sm.ok());
+  auto file = (*slow_sm)->CreateChain("lat", 4096);
+  ASSERT_TRUE(file.ok());
+  Page p(4096);
+  ASSERT_TRUE((*file)->AppendPage(&p).ok());
+  Stopwatch timer;
+  ASSERT_TRUE((*file)->ReadPage(0, &p).ok());
+  EXPECT_GE(timer.ElapsedMicros(), 1500.0);
+}
+
+}  // namespace
+}  // namespace payg
