@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scm.dir/bench_ablation_scm.cc.o"
+  "CMakeFiles/bench_ablation_scm.dir/bench_ablation_scm.cc.o.d"
+  "bench_ablation_scm"
+  "bench_ablation_scm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_primitives.dir/bench_fig1_primitives.cc.o"
+  "CMakeFiles/bench_fig1_primitives.dir/bench_fig1_primitives.cc.o.d"
+  "bench_fig1_primitives"
+  "bench_fig1_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_data_vector.dir/bench_fig4_data_vector.cc.o"
+  "CMakeFiles/bench_fig4_data_vector.dir/bench_fig4_data_vector.cc.o.d"
+  "bench_fig4_data_vector"
+  "bench_fig4_data_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_data_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_dictionary.dir/bench_fig5_dictionary.cc.o"
+  "CMakeFiles/bench_fig5_dictionary.dir/bench_fig5_dictionary.cc.o.d"
+  "bench_fig5_dictionary"
+  "bench_fig5_dictionary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_range.dir/bench_table3_range.cc.o"
+  "CMakeFiles/bench_table3_range.dir/bench_table3_range.cc.o.d"
+  "bench_table3_range"
+  "bench_table3_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cold_audit.cpp" "examples/CMakeFiles/cold_audit.dir/cold_audit.cpp.o" "gcc" "examples/CMakeFiles/cold_audit.dir/cold_audit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/payg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/payg_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/payg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/paged/CMakeFiles/payg_paged.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/payg_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/payg_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/payg_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/payg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/payg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_audit.dir/cold_audit.cpp.o"
+  "CMakeFiles/cold_audit.dir/cold_audit.cpp.o.d"
+  "cold_audit"
+  "cold_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_aging.dir/data_aging.cpp.o"
+  "CMakeFiles/data_aging.dir/data_aging.cpp.o.d"
+  "data_aging"
+  "data_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payg_buffer.dir/resource_manager.cc.o"
+  "CMakeFiles/payg_buffer.dir/resource_manager.cc.o.d"
+  "libpayg_buffer.a"
+  "libpayg_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payg_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

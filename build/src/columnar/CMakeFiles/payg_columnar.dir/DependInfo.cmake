@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/columnar/delta_fragment.cc" "src/columnar/CMakeFiles/payg_columnar.dir/delta_fragment.cc.o" "gcc" "src/columnar/CMakeFiles/payg_columnar.dir/delta_fragment.cc.o.d"
+  "/root/repo/src/columnar/dictionary.cc" "src/columnar/CMakeFiles/payg_columnar.dir/dictionary.cc.o" "gcc" "src/columnar/CMakeFiles/payg_columnar.dir/dictionary.cc.o.d"
+  "/root/repo/src/columnar/inverted_index.cc" "src/columnar/CMakeFiles/payg_columnar.dir/inverted_index.cc.o" "gcc" "src/columnar/CMakeFiles/payg_columnar.dir/inverted_index.cc.o.d"
+  "/root/repo/src/columnar/resident_fragment.cc" "src/columnar/CMakeFiles/payg_columnar.dir/resident_fragment.cc.o" "gcc" "src/columnar/CMakeFiles/payg_columnar.dir/resident_fragment.cc.o.d"
+  "/root/repo/src/columnar/value.cc" "src/columnar/CMakeFiles/payg_columnar.dir/value.cc.o" "gcc" "src/columnar/CMakeFiles/payg_columnar.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/payg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/payg_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/payg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/payg_buffer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payg_columnar.dir/delta_fragment.cc.o"
+  "CMakeFiles/payg_columnar.dir/delta_fragment.cc.o.d"
+  "CMakeFiles/payg_columnar.dir/dictionary.cc.o"
+  "CMakeFiles/payg_columnar.dir/dictionary.cc.o.d"
+  "CMakeFiles/payg_columnar.dir/inverted_index.cc.o"
+  "CMakeFiles/payg_columnar.dir/inverted_index.cc.o.d"
+  "CMakeFiles/payg_columnar.dir/resident_fragment.cc.o"
+  "CMakeFiles/payg_columnar.dir/resident_fragment.cc.o.d"
+  "CMakeFiles/payg_columnar.dir/value.cc.o"
+  "CMakeFiles/payg_columnar.dir/value.cc.o.d"
+  "libpayg_columnar.a"
+  "libpayg_columnar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payg_columnar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

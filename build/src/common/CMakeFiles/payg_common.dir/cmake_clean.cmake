@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payg_common.dir/crc32.cc.o"
+  "CMakeFiles/payg_common.dir/crc32.cc.o.d"
+  "CMakeFiles/payg_common.dir/status.cc.o"
+  "CMakeFiles/payg_common.dir/status.cc.o.d"
+  "CMakeFiles/payg_common.dir/stopwatch.cc.o"
+  "CMakeFiles/payg_common.dir/stopwatch.cc.o.d"
+  "libpayg_common.a"
+  "libpayg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

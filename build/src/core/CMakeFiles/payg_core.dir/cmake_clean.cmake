@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payg_core.dir/column_store.cc.o"
+  "CMakeFiles/payg_core.dir/column_store.cc.o.d"
+  "libpayg_core.a"
+  "libpayg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoding/bit_packing.cc" "src/encoding/CMakeFiles/payg_encoding.dir/bit_packing.cc.o" "gcc" "src/encoding/CMakeFiles/payg_encoding.dir/bit_packing.cc.o.d"
+  "/root/repo/src/encoding/sparse_vector.cc" "src/encoding/CMakeFiles/payg_encoding.dir/sparse_vector.cc.o" "gcc" "src/encoding/CMakeFiles/payg_encoding.dir/sparse_vector.cc.o.d"
+  "/root/repo/src/encoding/string_block.cc" "src/encoding/CMakeFiles/payg_encoding.dir/string_block.cc.o" "gcc" "src/encoding/CMakeFiles/payg_encoding.dir/string_block.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/payg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payg_encoding.dir/bit_packing.cc.o"
+  "CMakeFiles/payg_encoding.dir/bit_packing.cc.o.d"
+  "CMakeFiles/payg_encoding.dir/sparse_vector.cc.o"
+  "CMakeFiles/payg_encoding.dir/sparse_vector.cc.o.d"
+  "CMakeFiles/payg_encoding.dir/string_block.cc.o"
+  "CMakeFiles/payg_encoding.dir/string_block.cc.o.d"
+  "libpayg_encoding.a"
+  "libpayg_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payg_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

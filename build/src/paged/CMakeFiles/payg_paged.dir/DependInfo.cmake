@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paged/fragment_factory.cc" "src/paged/CMakeFiles/payg_paged.dir/fragment_factory.cc.o" "gcc" "src/paged/CMakeFiles/payg_paged.dir/fragment_factory.cc.o.d"
+  "/root/repo/src/paged/page_cache.cc" "src/paged/CMakeFiles/payg_paged.dir/page_cache.cc.o" "gcc" "src/paged/CMakeFiles/payg_paged.dir/page_cache.cc.o.d"
+  "/root/repo/src/paged/paged_data_vector.cc" "src/paged/CMakeFiles/payg_paged.dir/paged_data_vector.cc.o" "gcc" "src/paged/CMakeFiles/payg_paged.dir/paged_data_vector.cc.o.d"
+  "/root/repo/src/paged/paged_dictionary.cc" "src/paged/CMakeFiles/payg_paged.dir/paged_dictionary.cc.o" "gcc" "src/paged/CMakeFiles/payg_paged.dir/paged_dictionary.cc.o.d"
+  "/root/repo/src/paged/paged_fragment.cc" "src/paged/CMakeFiles/payg_paged.dir/paged_fragment.cc.o" "gcc" "src/paged/CMakeFiles/payg_paged.dir/paged_fragment.cc.o.d"
+  "/root/repo/src/paged/paged_inverted_index.cc" "src/paged/CMakeFiles/payg_paged.dir/paged_inverted_index.cc.o" "gcc" "src/paged/CMakeFiles/payg_paged.dir/paged_inverted_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/columnar/CMakeFiles/payg_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/payg_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/payg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/payg_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/payg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payg_paged.dir/fragment_factory.cc.o"
+  "CMakeFiles/payg_paged.dir/fragment_factory.cc.o.d"
+  "CMakeFiles/payg_paged.dir/page_cache.cc.o"
+  "CMakeFiles/payg_paged.dir/page_cache.cc.o.d"
+  "CMakeFiles/payg_paged.dir/paged_data_vector.cc.o"
+  "CMakeFiles/payg_paged.dir/paged_data_vector.cc.o.d"
+  "CMakeFiles/payg_paged.dir/paged_dictionary.cc.o"
+  "CMakeFiles/payg_paged.dir/paged_dictionary.cc.o.d"
+  "CMakeFiles/payg_paged.dir/paged_fragment.cc.o"
+  "CMakeFiles/payg_paged.dir/paged_fragment.cc.o.d"
+  "CMakeFiles/payg_paged.dir/paged_inverted_index.cc.o"
+  "CMakeFiles/payg_paged.dir/paged_inverted_index.cc.o.d"
+  "libpayg_paged.a"
+  "libpayg_paged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payg_paged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpayg_paged.a"
+)

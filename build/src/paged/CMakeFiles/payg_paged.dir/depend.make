@@ -1,0 +1,2 @@
+# Empty dependencies file for payg_paged.
+# This may be replaced when dependencies are built.

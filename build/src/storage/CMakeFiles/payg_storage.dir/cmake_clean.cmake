@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payg_storage.dir/byte_stream.cc.o"
+  "CMakeFiles/payg_storage.dir/byte_stream.cc.o.d"
+  "CMakeFiles/payg_storage.dir/page.cc.o"
+  "CMakeFiles/payg_storage.dir/page.cc.o.d"
+  "CMakeFiles/payg_storage.dir/page_file.cc.o"
+  "CMakeFiles/payg_storage.dir/page_file.cc.o.d"
+  "CMakeFiles/payg_storage.dir/storage_manager.cc.o"
+  "CMakeFiles/payg_storage.dir/storage_manager.cc.o.d"
+  "libpayg_storage.a"
+  "libpayg_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payg_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

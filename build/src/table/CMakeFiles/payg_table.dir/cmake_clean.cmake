@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payg_table.dir/partition.cc.o"
+  "CMakeFiles/payg_table.dir/partition.cc.o.d"
+  "CMakeFiles/payg_table.dir/table.cc.o"
+  "CMakeFiles/payg_table.dir/table.cc.o.d"
+  "libpayg_table.a"
+  "libpayg_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payg_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payg_workload.dir/erp.cc.o"
+  "CMakeFiles/payg_workload.dir/erp.cc.o.d"
+  "libpayg_workload.a"
+  "libpayg_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payg_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
