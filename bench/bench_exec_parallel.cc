@@ -1,0 +1,105 @@
+// Partition-parallel execution: the §6 ERP table aged into hot + 3 cold
+// partitions, then the same mixed query stream (pk point lookup, full-column
+// count, date-range sum) replayed at worker_threads = 0 (the serial
+// baseline), 1, 2, 4 and 8. Reports throughput per setting plus the
+// aggregated ExecContext counters, which are identical across settings —
+// parallelism changes wall clock, not work done.
+
+#include "bench/bench_common.h"
+#include "exec/exec_context.h"
+
+namespace {
+
+#define BENCH_CHECK_STATUS(expr)                                          \
+  do {                                                                    \
+    payg::Status _st = (expr);                                            \
+    if (!_st.ok()) {                                                      \
+      std::fprintf(stderr, "%s failed: %s\n", #expr,                      \
+                   _st.ToString().c_str());                               \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+}  // namespace
+
+int main() {
+  using namespace payg;
+  using namespace payg::bench;
+  BenchEnv env = ReadEnv("exec_parallel");
+  std::printf("# exec_parallel — mixed query stream over hot + 3 cold "
+              "partitions: rows=%llu queries=%llu latency_us=%u\n",
+              static_cast<unsigned long long>(env.rows),
+              static_cast<unsigned long long>(env.queries), env.latency_us);
+
+  VariantInstance inst =
+      BuildVariant(env, "exec", TableVariant::kPagedAll, /*with_indexes=*/true);
+  ErpConfig config = MakeConfig(env, TableVariant::kPagedAll, true);
+  Table* table = inst.table;
+
+  // Age the oldest three quarters of the table into three cold partitions
+  // (dates correlate with row order, so each wave moves ~rows/4).
+  const ErpColumnSpec date = MakeErpColumns(config)[1];
+  for (uint64_t wave = 1; wave <= 3; ++wave) {
+    BENCH_CHECK_STATUS(table->AddColdPartition());
+    auto moved =
+        table->AgeRows(date.ValueAt(date.cardinality * wave / 4 - 1));
+    BENCH_CHECK_OK(moved);
+    BENCH_CHECK_STATUS(table->MergeAll());
+  }
+  std::printf("partitions=%llu\n",
+              static_cast<unsigned long long>(table->partition_count()));
+
+  const Value date_lo = date.ValueAt(date.cardinality / 8);
+  const Value date_hi = date.ValueAt((date.cardinality * 7) / 8);
+
+  std::printf("workers,queries,seconds,qps,pages_pinned,pages_read,"
+              "bytes_read,rows_scanned,index_lookups,vector_scans,"
+              "partitions_visited\n");
+  for (uint32_t workers : {0u, 1u, 2u, 4u, 8u}) {
+    table->set_exec_options(ExecOptions{workers});
+    table->UnloadAll();  // identical cold start for every setting
+    ErpWorkload workload(config, /*seed=*/7001);
+    ExecContext ctx;
+    Stopwatch timer;
+    for (uint64_t q = 0; q < env.queries; ++q) {
+      switch (q % 3) {
+        case 0: {  // Q_pk: point lookup through the pk index
+          auto r = table->SelectByValue("pk", workload.PkOfRow(
+                                                  workload.RandomRow()),
+                                        {"pk", "aging_date"}, &ctx);
+          BENCH_CHECK_OK(r);
+          break;
+        }
+        case 1: {  // Q_cnt: count over a random low-card column value
+          int col = workload.RandomColumnOfType(ValueType::kString,
+                                                /*high_cardinality=*/false);
+          auto r = table->CountByValue(workload.columns()[col].name,
+                                       workload.RandomValueOf(col), &ctx);
+          BENCH_CHECK_OK(r);
+          break;
+        }
+        default: {  // Q_sum: date-range sum over a random numeric column
+          int col = workload.RandomNumericColumn();
+          auto r = table->SumRange("aging_date", date_lo, date_hi,
+                                   workload.columns()[col].name, &ctx);
+          BENCH_CHECK_OK(r);
+          break;
+        }
+      }
+    }
+    const double secs = timer.ElapsedMicros() / 1e6;
+    const QueryStats::Snapshot s = ctx.stats.snapshot();
+    std::printf("%u,%llu,%.3f,%.1f,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
+                workers, static_cast<unsigned long long>(env.queries), secs,
+                static_cast<double>(env.queries) / secs,
+                static_cast<unsigned long long>(s.pages_pinned),
+                static_cast<unsigned long long>(s.pages_read),
+                static_cast<unsigned long long>(s.bytes_read),
+                static_cast<unsigned long long>(s.rows_scanned),
+                static_cast<unsigned long long>(s.index_lookups),
+                static_cast<unsigned long long>(s.vector_scans),
+                static_cast<unsigned long long>(s.partitions_visited));
+  }
+  std::filesystem::remove_all(env.dir);
+  return 0;
+}

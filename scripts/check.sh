@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full verification: regular build + complete test suite, then a
+# ThreadSanitizer build running the concurrency-sensitive suites (the
+# resource manager's striped touch buffers and the partition-parallel
+# executor). Usage: scripts/check.sh [build-dir-prefix]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+
+echo "== regular build + full test suite =="
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+
+echo "== TSan build: buffer + exec suites =="
+cmake -B "$BUILD-tsan" -S . -DPAYG_SANITIZE=thread >/dev/null
+cmake --build "$BUILD-tsan" -j --target buffer_test exec_test
+"$BUILD-tsan"/tests/buffer_test
+"$BUILD-tsan"/tests/exec_test
+
+echo "check.sh: all green"

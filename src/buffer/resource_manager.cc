@@ -87,29 +87,69 @@ bool ResourceManager::Unregister(ResourceId id) {
 }
 
 void ResourceManager::Touch(ResourceId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return;
-  Entry& e = it->second;
-  e.last_touch = clock_.fetch_add(1);
-  auto pool_idx = static_cast<int>(e.pool);
-  lru_[pool_idx].erase(e.lru_it);
-  lru_[pool_idx].push_back(id);
-  e.lru_it = std::prev(lru_[pool_idx].end());
+  // Hot path: no main-mutex acquisition. The LRU splice happens lazily in
+  // FlushTouchesLocked before the next victim selection.
+  RecordTouch(id, clock_.fetch_add(1));
 }
 
 bool ResourceManager::Pin(ResourceId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return false;
-  Entry& e = it->second;
-  ++e.pin_count;
-  e.last_touch = clock_.fetch_add(1);
-  auto pool_idx = static_cast<int>(e.pool);
-  lru_[pool_idx].erase(e.lru_it);
-  lru_[pool_idx].push_back(id);
-  e.lru_it = std::prev(lru_[pool_idx].end());
+  uint64_t stamp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(id);
+    if (it == entries_.end()) return false;
+    Entry& e = it->second;
+    ++e.pin_count;
+    stamp = clock_.fetch_add(1);
+    e.last_touch = stamp;
+  }
+  // The recency splice is deferred like Touch, keeping the mu_ critical
+  // section to a hash lookup + counter bump on the hot pin path.
+  RecordTouch(id, stamp);
   return true;
+}
+
+void ResourceManager::RecordTouch(ResourceId id, uint64_t stamp) {
+  size_t pending;
+  {
+    TouchStripe& stripe = touch_stripes_[id % kTouchStripes];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.pending.emplace_back(id, stamp);
+    pending = pending_touches_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  if (pending >= kTouchFlushThreshold) {
+    std::lock_guard<std::mutex> lock(mu_);
+    FlushTouchesLocked();
+  }
+}
+
+void ResourceManager::FlushTouchesLocked() {
+  std::vector<std::pair<ResourceId, uint64_t>> pending;
+  for (TouchStripe& stripe : touch_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    pending.insert(pending.end(), stripe.pending.begin(),
+                   stripe.pending.end());
+    stripe.pending.clear();
+  }
+  if (pending.empty()) return;
+  pending_touches_.fetch_sub(pending.size(), std::memory_order_relaxed);
+  // Apply in stamp order so the lists end up exactly as if every Touch/Pin
+  // had spliced under mu_ at the moment it happened.
+  std::sort(pending.begin(), pending.end(),
+            [](const std::pair<ResourceId, uint64_t>& a,
+               const std::pair<ResourceId, uint64_t>& b) {
+              return a.second < b.second;
+            });
+  for (const auto& [id, stamp] : pending) {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) continue;  // evicted meanwhile; ids never reused
+    Entry& e = it->second;
+    if (stamp > e.last_touch) e.last_touch = stamp;
+    auto pool_idx = static_cast<int>(e.pool);
+    lru_[pool_idx].erase(e.lru_it);
+    lru_[pool_idx].push_back(id);
+    e.lru_it = std::prev(lru_[pool_idx].end());
+  }
 }
 
 void ResourceManager::Unpin(ResourceId id) {
@@ -144,6 +184,7 @@ void ResourceManager::SweepNow() {
   std::vector<EvictCallback> callbacks;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    FlushTouchesLocked();
     for (int p = 0; p < kNumPools; ++p) {
       const Limits& lim = pool_limits_[p];
       if (lim.upper != 0 && pool_bytes_[p] > lim.upper) {
@@ -247,6 +288,9 @@ void ResourceManager::CollectWeightedVictimsLocked(
 void ResourceManager::ReactiveEvictLocked(
     std::vector<EvictCallback>* callbacks) {
   if (global_budget_ == 0 || total_bytes_ <= global_budget_) return;
+  // Deferred touches must land before picking victims or the LRU order
+  // would ignore recent activity.
+  FlushTouchesLocked();
   // Low-memory situation: paged-attribute resources are unloaded first, down
   // to each pool's lower limit, before touching anything else (§5).
   for (int p = 0; p < kNumPools; ++p) {
@@ -271,6 +315,7 @@ void ResourceManager::BackgroundSweeper() {
     sweeper_cv_.wait_for(lock, std::chrono::milliseconds(20));
     if (shutting_down_) break;
     std::vector<EvictCallback> callbacks;
+    FlushTouchesLocked();
     for (int p = 0; p < kNumPools; ++p) {
       const Limits& lim = pool_limits_[p];
       if (lim.upper != 0 && pool_bytes_[p] > lim.upper) {

@@ -10,6 +10,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "buffer/disposition.h"
@@ -82,7 +83,10 @@ class ResourceManager {
   // evicted) — callers use this to detect eviction races.
   bool Unregister(ResourceId id);
 
-  // Marks the resource recently used. No-op if already evicted.
+  // Marks the resource recently used. No-op if already evicted. The LRU
+  // reordering is deferred: the touch is recorded in a striped pending
+  // buffer (no contention on the main mutex) and applied — in timestamp
+  // order — before any victim selection.
   void Touch(ResourceId id);
 
   // Pins the resource against eviction. Returns false if the resource no
@@ -128,10 +132,29 @@ class ResourceManager {
   ResourceId RegisterInternal(std::string label, uint64_t bytes,
                               Disposition disposition, PoolId pool,
                               EvictCallback on_evict, uint32_t initial_pins);
+  // Appends one (id, stamp) touch to a stripe; flushes under mu_ once the
+  // pending count crosses the threshold. Never called with mu_ held.
+  void RecordTouch(ResourceId id, uint64_t stamp);
+  // Drains every stripe and applies the touches in stamp order (so the LRU
+  // lists end up exactly as if each Touch had spliced immediately). Must run
+  // before any victim selection; stale ids (already evicted) are skipped —
+  // resource ids are never reused.
+  void FlushTouchesLocked();
   void RemoveEntryLocked(ResourceId id, bool count_as_eviction,
                          bool proactive);
   void ReactiveEvictLocked(std::vector<EvictCallback>* callbacks);
   void BackgroundSweeper();
+
+  // Hot-path touch buffering. Lock order: mu_ before stripe mutex; the
+  // record path takes only the stripe mutex.
+  static constexpr int kTouchStripes = 8;
+  static constexpr size_t kTouchFlushThreshold = 64;
+  struct TouchStripe {
+    std::mutex mu;
+    std::vector<std::pair<ResourceId, uint64_t>> pending;  // (id, stamp)
+  };
+  TouchStripe touch_stripes_[kTouchStripes];
+  std::atomic<size_t> pending_touches_{0};
 
   mutable std::mutex mu_;
   std::condition_variable sweeper_cv_;
@@ -174,6 +197,7 @@ class PinnedResource {
 
   PinnedResource(PinnedResource&& other) noexcept { *this = std::move(other); }
   PinnedResource& operator=(PinnedResource&& other) noexcept {
+    if (this == &other) return *this;  // self-move must not drop the pin
     Release();
     rm_ = other.rm_;
     id_ = other.id_;

@@ -12,6 +12,8 @@
 
 namespace payg {
 
+class ExecContext;
+
 // Per-query stateful reader over a main fragment. Readers own the paging
 // state the paper attaches to iterators: pinned page handles, the
 // dictionary handle cache, and inverted-index cursors. Destroying the reader
@@ -70,8 +72,14 @@ class MainFragment {
 
   // Creates a per-query reader. For a fully resident fragment this triggers
   // the full column load on first access; for a paged fragment it is cheap
-  // and pages load lazily as the reader touches them.
-  virtual Result<std::unique_ptr<FragmentReader>> NewReader() = 0;
+  // and pages load lazily as the reader touches them. When `ctx` is given,
+  // the reader attributes its page pins, reads, and scanned rows to that
+  // query and honours its deadline.
+  virtual Result<std::unique_ptr<FragmentReader>> NewReader(
+      ExecContext* ctx) = 0;
+  Result<std::unique_ptr<FragmentReader>> NewReader() {
+    return NewReader(nullptr);
+  }
 
   // Drops all resident memory (column unload). Safe to call while no
   // readers are open.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/stopwatch.h"
+#include "exec/exec_context.h"
 #include "storage/byte_stream.h"
 
 namespace payg {
@@ -23,8 +24,9 @@ std::string ChainName(const std::string& name) { return name + ".full"; }
 // unloaded while a query is running.
 class ResidentReader : public FragmentReader {
  public:
-  ResidentReader(FullyResidentFragment* frag, PinnedResource pin)
-      : frag_(frag), pin_(std::move(pin)) {}
+  ResidentReader(FullyResidentFragment* frag, ExecContext* ctx,
+                 PinnedResource pin)
+      : frag_(frag), ctx_(ctx), pin_(std::move(pin)) {}
 
   Result<ValueId> GetVid(RowPos rpos) override {
     if (rpos >= frag_->row_count_) return Status::OutOfRange("row position");
@@ -57,6 +59,7 @@ class ResidentReader : public FragmentReader {
       PackedSearchRange(frag_->data_.words(), frag_->data_.bits(), from, to,
                         lo, hi, from, out);
     }
+    CountRowsScanned(ctx_, to - from);
     return Status::OK();
   }
 
@@ -72,6 +75,7 @@ class ResidentReader : public FragmentReader {
       PackedSearchIn(frag_->data_.words(), frag_->data_.bits(), from, to,
                      sorted_vids, from, out);
     }
+    CountRowsScanned(ctx_, to - from);
     return Status::OK();
   }
 
@@ -81,6 +85,7 @@ class ResidentReader : public FragmentReader {
       if (r >= frag_->row_count_) return Status::OutOfRange("row position");
       uint64_t v = sparse() ? frag_->sparse_.Get(r) : frag_->data_.Get(r);
       if (v - lo <= static_cast<uint64_t>(hi) - lo) out->push_back(r);
+      CountRowsScanned(ctx_, 1);
     }
     return Status::OK();
   }
@@ -88,16 +93,19 @@ class ResidentReader : public FragmentReader {
   Status FindRows(ValueId vid, std::vector<RowPos>* out) override {
     if (vid >= frag_->dict_size_) return Status::OutOfRange("value id");
     if (frag_->has_index_) {
+      CountIndexLookup(ctx_);
       auto span = frag_->index_.Lookup(vid);
       out->insert(out->end(), span.begin(), span.end());
       return Status::OK();
     }
+    CountVectorScan(ctx_);
     if (sparse()) {
       frag_->sparse_.SearchEq(0, frag_->row_count_, vid, 0, out);
     } else {
       PackedSearchEq(frag_->data_.words(), frag_->data_.bits(), 0,
                      frag_->row_count_, vid, 0, out);
     }
+    CountRowsScanned(ctx_, frag_->row_count_);
     return Status::OK();
   }
 
@@ -125,6 +133,7 @@ class ResidentReader : public FragmentReader {
   }
 
   FullyResidentFragment* frag_;
+  ExecContext* ctx_;
   PinnedResource pin_;
 };
 
@@ -366,7 +375,11 @@ uint64_t FullyResidentFragment::ResidentBytes() const {
   return loaded_ ? resident_bytes_ : 0;
 }
 
-Result<std::unique_ptr<FragmentReader>> FullyResidentFragment::NewReader() {
+Result<std::unique_ptr<FragmentReader>> FullyResidentFragment::NewReader(
+    ExecContext* ctx) {
+  if (ctx != nullptr) {
+    PAYG_RETURN_IF_ERROR(ctx->CheckDeadline());
+  }
   PAYG_ASSIGN_OR_RETURN(ResourceId id, EnsureLoaded());
   PinnedResource pin = PinnedResource::TryPin(rm_, id);
   if (!pin.valid()) {
@@ -379,8 +392,9 @@ Result<std::unique_ptr<FragmentReader>> FullyResidentFragment::NewReader() {
                                        " cannot stay resident under budget");
     }
   }
+  CountPagePinned(ctx);
   return std::unique_ptr<FragmentReader>(
-      new ResidentReader(this, std::move(pin)));
+      new ResidentReader(this, ctx, std::move(pin)));
 }
 
 }  // namespace payg

@@ -55,7 +55,9 @@ class FullyResidentFragment : public MainFragment {
   bool has_index() const override { return has_index_; }
   bool is_paged() const override { return false; }
 
-  Result<std::unique_ptr<FragmentReader>> NewReader() override;
+  Result<std::unique_ptr<FragmentReader>> NewReader(
+      ExecContext* ctx) override;
+  using MainFragment::NewReader;
   void Unload() override;
   uint64_t ResidentBytes() const override;
 

@@ -21,6 +21,7 @@ enum class StatusCode : int {
   kFailedPrecondition,
   kUnsupported,
   kInternal,
+  kDeadlineExceeded,
 };
 
 // RocksDB-style status object. Cheap to copy in the OK case (no allocation).
@@ -59,6 +60,9 @@ class Status {
   static Status Internal(std::string_view msg) {
     return Status(StatusCode::kInternal, msg);
   }
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(StatusCode::kDeadlineExceeded, msg);
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -67,6 +71,9 @@ class Status {
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
 
   StatusCode code() const { return code_; }

@@ -1,0 +1,116 @@
+#ifndef PAYG_EXEC_EXEC_CONTEXT_H_
+#define PAYG_EXEC_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace payg {
+
+// Per-query counter set — an IoStats scoped to one query instead of the
+// whole store. One query's partition workers share the context, so the
+// counters are atomic; relaxed ordering is enough (they are statistics, not
+// synchronization).
+struct QueryStats {
+  std::atomic<uint64_t> pages_pinned{0};   // page-cache pins handed out
+  std::atomic<uint64_t> pages_read{0};     // physical page loads
+  std::atomic<uint64_t> bytes_read{0};     // bytes of those loads
+  std::atomic<uint64_t> rows_scanned{0};   // rows examined by search/filter
+  std::atomic<uint64_t> index_lookups{0};  // FindRows served by an index
+  std::atomic<uint64_t> vector_scans{0};   // FindRows/search via vid scan
+  std::atomic<uint64_t> partitions_visited{0};
+
+  // Plain-integer copy for reporting (benchmarks, logs, tests).
+  struct Snapshot {
+    uint64_t pages_pinned = 0;
+    uint64_t pages_read = 0;
+    uint64_t bytes_read = 0;
+    uint64_t rows_scanned = 0;
+    uint64_t index_lookups = 0;
+    uint64_t vector_scans = 0;
+    uint64_t partitions_visited = 0;
+  };
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    s.pages_pinned = pages_pinned.load(std::memory_order_relaxed);
+    s.pages_read = pages_read.load(std::memory_order_relaxed);
+    s.bytes_read = bytes_read.load(std::memory_order_relaxed);
+    s.rows_scanned = rows_scanned.load(std::memory_order_relaxed);
+    s.index_lookups = index_lookups.load(std::memory_order_relaxed);
+    s.vector_scans = vector_scans.load(std::memory_order_relaxed);
+    s.partitions_visited = partitions_visited.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+// Carried through one query end to end: Table → Partition → FragmentReader →
+// paged structures → PageFile. Gives every layer a place to report work
+// (QueryStats) and a deadline to respect, so a cold-partition page load can
+// be attributed to — and cancelled by — the query that caused it.
+//
+// The context outlives every worker of its query (the executor joins them
+// before the driver returns), so layers hold it by raw pointer. A null
+// ExecContext* anywhere down the stack means "no accounting requested".
+struct ExecContext {
+  using Clock = std::chrono::steady_clock;
+
+  QueryStats stats;
+
+  // Absolute deadline; Clock::time_point::max() (the default) means none.
+  Clock::time_point deadline = Clock::time_point::max();
+
+  void SetDeadlineAfter(std::chrono::microseconds timeout) {
+    deadline = Clock::now() + timeout;
+  }
+  bool has_deadline() const { return deadline != Clock::time_point::max(); }
+
+  // OK while the deadline (if any) has not passed. Checked at the partition
+  // fan-out and before every physical page load, so a query over many cold
+  // pages stops within one page read of its deadline.
+  Status CheckDeadline() const {
+    if (has_deadline() && Clock::now() > deadline) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+};
+
+// Counter bump helpers tolerating the no-context case.
+inline void CountPagePinned(ExecContext* ctx) {
+  if (ctx != nullptr) {
+    ctx->stats.pages_pinned.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+inline void CountPageRead(ExecContext* ctx, uint64_t bytes) {
+  if (ctx != nullptr) {
+    ctx->stats.pages_read.fetch_add(1, std::memory_order_relaxed);
+    ctx->stats.bytes_read.fetch_add(bytes, std::memory_order_relaxed);
+  }
+}
+inline void CountRowsScanned(ExecContext* ctx, uint64_t rows) {
+  if (ctx != nullptr) {
+    ctx->stats.rows_scanned.fetch_add(rows, std::memory_order_relaxed);
+  }
+}
+inline void CountIndexLookup(ExecContext* ctx) {
+  if (ctx != nullptr) {
+    ctx->stats.index_lookups.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+inline void CountVectorScan(ExecContext* ctx) {
+  if (ctx != nullptr) {
+    ctx->stats.vector_scans.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+inline void CountPartitionVisited(ExecContext* ctx) {
+  if (ctx != nullptr) {
+    ctx->stats.partitions_visited.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace payg
+
+#endif  // PAYG_EXEC_EXEC_CONTEXT_H_

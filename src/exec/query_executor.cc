@@ -1,0 +1,61 @@
+#include "exec/query_executor.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace payg {
+
+QueryExecutor::QueryExecutor(const ExecOptions& options) : options_(options) {
+  if (options_.worker_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  }
+}
+
+QueryExecutor::~QueryExecutor() = default;
+
+Status QueryExecutor::ForEach(ExecContext* ctx, size_t n,
+                              const std::function<Status(size_t)>& task) {
+  auto run = [&](size_t i) -> Status {
+    if (ctx != nullptr) {
+      PAYG_RETURN_IF_ERROR(ctx->CheckDeadline());
+    }
+    return task(i);
+  };
+
+  // A single partition gains nothing from the pool; running it inline also
+  // keeps single-partition tables free of cross-thread handoffs.
+  if (pool_ == nullptr || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      PAYG_RETURN_IF_ERROR(run(i));
+    }
+    return Status::OK();
+  }
+
+  std::vector<Status> statuses(n);
+  std::atomic<size_t> remaining{n};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (size_t i = 0; i < n; ++i) {
+    pool_->Submit([&, i] {
+      statuses[i] = run(i);
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_one();
+      }
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return remaining.load() == 0; });
+  }
+  for (Status& s : statuses) {
+    PAYG_RETURN_IF_ERROR(std::move(s));
+  }
+  return Status::OK();
+}
+
+}  // namespace payg

@@ -1,0 +1,55 @@
+#ifndef PAYG_EXEC_QUERY_EXECUTOR_H_
+#define PAYG_EXEC_QUERY_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "exec/thread_pool.h"
+
+namespace payg {
+
+// Configuration of the partition-parallel execution layer.
+struct ExecOptions {
+  // Number of pool workers a query may fan out to. 0 keeps the historical
+  // serial partition loop (bit-for-bit reproducible paper figures, no
+  // threads created at all).
+  uint32_t worker_threads = 0;
+};
+
+// Fans per-partition work of one query out over a fixed thread pool and
+// joins it. The executor is shared by all queries of a table; each ForEach
+// call is one query's partition loop.
+//
+// Determinism contract: task i writes only to slot i of caller-owned output
+// vectors, so merging slots in index order reproduces the serial loop's
+// output byte for byte regardless of worker interleaving.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(const ExecOptions& options);
+  ~QueryExecutor();
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  const ExecOptions& options() const { return options_; }
+  bool parallel() const { return pool_ != nullptr; }
+
+  // Runs task(i) for every i in [0, n), on the pool when one exists, inline
+  // otherwise. The query's deadline (ctx may be null) is checked before each
+  // task starts. Serial mode stops at the first error exactly like the old
+  // partition loops; parallel mode joins everything and reports the first
+  // non-OK status in index order.
+  Status ForEach(ExecContext* ctx, size_t n,
+                 const std::function<Status(size_t)>& task);
+
+ private:
+  ExecOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace payg
+
+#endif  // PAYG_EXEC_QUERY_EXECUTOR_H_

@@ -1,0 +1,48 @@
+#include "exec/thread_pool.h"
+
+#include "common/macros.h"
+
+namespace payg {
+
+ThreadPool::ThreadPool(uint32_t threads) {
+  PAYG_ASSERT_MSG(threads > 0, "thread pool needs at least one worker");
+  workers_.reserve(threads);
+  for (uint32_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PAYG_ASSERT_MSG(!shutting_down_, "submit after shutdown");
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      // Drain remaining work on shutdown so no submitted task is lost.
+      if (queue_.empty()) return;
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    fn();
+  }
+}
+
+}  // namespace payg

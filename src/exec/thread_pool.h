@@ -1,0 +1,44 @@
+#ifndef PAYG_EXEC_THREAD_POOL_H_
+#define PAYG_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace payg {
+
+// Fixed-size thread pool with one shared FIFO queue — deliberately no work
+// stealing: query tasks are per-partition and coarse, so a single queue
+// keeps the scheduling deterministic to reason about and the implementation
+// small. Workers live for the lifetime of the pool.
+class ThreadPool {
+ public:
+  explicit ThreadPool(uint32_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `fn` for execution by some worker. Never blocks (unbounded
+  // queue); tasks run in submission order per worker pick-up.
+  void Submit(std::function<void()> fn);
+
+  uint32_t size() const { return static_cast<uint32_t>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace payg
+
+#endif  // PAYG_EXEC_THREAD_POOL_H_

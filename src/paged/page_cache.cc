@@ -1,14 +1,20 @@
 #include "paged/page_cache.h"
 
+#include "exec/exec_context.h"
+
 namespace payg {
 
-Result<PageRef> PageCache::GetPage(LogicalPageNo lpn) {
+Result<PageRef> PageCache::GetPage(LogicalPageNo lpn, ExecContext* ctx) {
+  if (ctx != nullptr) {
+    PAYG_RETURN_IF_ERROR(ctx->CheckDeadline());
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = slots_.find(lpn);
     if (it != slots_.end()) {
       PinnedResource pin = PinnedResource::TryPin(rm_, it->second.rid);
       if (pin.valid()) {
+        CountPagePinned(ctx);
         return PageRef(it->second.page, std::move(pin), lpn);
       }
       // The resource manager chose this page as a victim and its callback
@@ -21,8 +27,9 @@ Result<PageRef> PageCache::GetPage(LogicalPageNo lpn) {
   // Load outside the cache lock: the (possibly simulated-latency) read must
   // not block concurrent eviction callbacks.
   auto page = std::make_shared<Page>(file_->page_size());
-  PAYG_RETURN_IF_ERROR(file_->ReadPage(lpn, page.get()));
+  PAYG_RETURN_IF_ERROR(file_->ReadPage(lpn, page.get(), ctx));
   loads_.fetch_add(1, std::memory_order_relaxed);
+  CountPagePinned(ctx);
 
   const uint64_t gen = next_generation_.fetch_add(1);
   ResourceId rid = rm_->RegisterPinned(

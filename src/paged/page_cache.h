@@ -57,7 +57,9 @@ class PageCache {
   PageCache& operator=(const PageCache&) = delete;
 
   // Returns a pinned reference to page `lpn`, loading it if not resident.
-  Result<PageRef> GetPage(LogicalPageNo lpn);
+  // When `ctx` is given, the pin (and any disk read) is attributed to that
+  // query and its deadline is checked before touching the page.
+  Result<PageRef> GetPage(LogicalPageNo lpn, ExecContext* ctx = nullptr);
 
   // True if the page is resident right now (tests / stats; racy by nature).
   bool IsLoaded(LogicalPageNo lpn) const;

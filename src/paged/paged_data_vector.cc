@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "exec/exec_context.h"
 #include "storage/byte_stream.h"
 
 namespace payg {
@@ -231,7 +232,7 @@ Status PagedDataVectorIterator::Reposition(RowPos rpos) {
   // (§3.1.2 "page reposition").
   current_.Release();
   current_lpn_ = kInvalidPageNo;
-  auto ref = dv_->cache_->GetPage(lpn);
+  auto ref = dv_->cache_->GetPage(lpn, ctx_);
   if (!ref.ok()) return ref.status();
   current_ = std::move(*ref);
   current_lpn_ = lpn;
@@ -264,6 +265,7 @@ Status PagedDataVectorIterator::MGet(RowPos from, RowPos to,
         reinterpret_cast<const uint64_t*>(current_.page().payload());
     PackedMGet(words, dv_->bits_, r - page_first_row_, stop - page_first_row_,
                out->data() + old);
+    CountRowsScanned(ctx_, stop - r);
     r = stop;
   }
   return Status::OK();
@@ -291,6 +293,7 @@ Status PagedDataVectorIterator::SearchRange(RowPos from, RowPos to, ValueId lo,
         reinterpret_cast<const uint64_t*>(current_.page().payload());
     PackedSearchRange(words, dv_->bits_, r - page_first_row_,
                       stop - page_first_row_, lo, hi, r, out);
+    CountRowsScanned(ctx_, stop - r);
     r = stop;
   }
   return Status::OK();
@@ -324,6 +327,7 @@ Status PagedDataVectorIterator::SearchIn(
         reinterpret_cast<const uint64_t*>(current_.page().payload());
     PackedSearchIn(words, dv_->bits_, r - page_first_row_,
                    stop - page_first_row_, sorted_vids, r, out);
+    CountRowsScanned(ctx_, stop - r);
     r = stop;
   }
   return Status::OK();
@@ -337,6 +341,7 @@ Status PagedDataVectorIterator::SearchRowsRange(const std::vector<RowPos>& rows,
     if (!vid.ok()) return vid.status();
     uint64_t v = *vid;
     if (v - lo <= static_cast<uint64_t>(hi) - lo) out->push_back(r);
+    CountRowsScanned(ctx_, 1);
   }
   return Status::OK();
 }

@@ -90,7 +90,11 @@ class PagedDataVector {
 // Not thread-safe; create one per query.
 class PagedDataVectorIterator {
  public:
-  explicit PagedDataVectorIterator(PagedDataVector* dv) : dv_(dv) {}
+  // `ctx` (optional) receives page-pin / rows-scanned attribution and is
+  // consulted for the query deadline on every page load.
+  explicit PagedDataVectorIterator(PagedDataVector* dv,
+                                   ExecContext* ctx = nullptr)
+      : dv_(dv), ctx_(ctx) {}
 
   // Decodes the value identifier at `rpos`.
   Result<ValueId> Get(RowPos rpos);
@@ -143,6 +147,7 @@ class PagedDataVectorIterator {
   bool MayContain(RowPos rpos, ValueId lo, ValueId hi);
 
   PagedDataVector* dv_;
+  ExecContext* ctx_ = nullptr;
   PageRef current_;
   LogicalPageNo current_lpn_ = kInvalidPageNo;
   RowPos page_first_row_ = 0;   // first row stored on the pinned page

@@ -305,7 +305,7 @@ PagedDictionaryIterator::GetDictPage(uint64_t ord) {
 
   PAYG_ASSIGN_OR_RETURN(auto h, helpers());
   PAYG_ASSERT(ord < h->lpn.size());
-  auto ref = dict_->cache_->GetPage(h->lpn[ord]);
+  auto ref = dict_->cache_->GetPage(h->lpn[ord], ctx_);
   if (!ref.ok()) return ref.status();
   ++pages_touched_;
 
@@ -333,7 +333,7 @@ Result<std::string> PagedDictionaryIterator::LoadOffpage(OffpageRef ref) {
   LogicalPageNo lpn = static_cast<LogicalPageNo>(ref);
   auto it = offpage_cache_.find(lpn);
   if (it == offpage_cache_.end()) {
-    auto page = dict_->cache_->GetPage(lpn);
+    auto page = dict_->cache_->GetPage(lpn, ctx_);
     if (!page.ok()) return page.status();
     ++pages_touched_;
     it = offpage_cache_.emplace(lpn, std::move(*page)).first;

@@ -106,7 +106,10 @@ class PagedDictionary {
 // the resource manager cannot unload pages under the iterator.
 class PagedDictionaryIterator {
  public:
-  explicit PagedDictionaryIterator(PagedDictionary* dict) : dict_(dict) {}
+  // `ctx` (optional) attributes page pins/reads to the owning query.
+  explicit PagedDictionaryIterator(PagedDictionary* dict,
+                                   ExecContext* ctx = nullptr)
+      : dict_(dict), ctx_(ctx) {}
 
   // Alg. 2: vid encoding `value`, or kInvalidValueId if absent.
   Result<ValueId> FindByValue(const std::string& value);
@@ -143,6 +146,7 @@ class PagedDictionaryIterator {
   Status SearchValue(const std::string& value, ValueId* pos, bool* exact);
 
   PagedDictionary* dict_;
+  ExecContext* ctx_ = nullptr;
   std::shared_ptr<PagedDictionary::Helpers> helpers_cache_;
   PinnedResource helpers_pin_;
   std::map<uint64_t, PageView> handle_cache_;       // ordinal → pinned page

@@ -1,5 +1,6 @@
 #include "paged/paged_fragment.h"
 
+#include "exec/exec_context.h"
 #include "storage/byte_stream.h"
 
 namespace payg {
@@ -15,14 +16,17 @@ std::string MetaChainName(const std::string& name) { return name + ".pmeta"; }
 // index cursor pages, numeric dictionary) release when the reader dies.
 class PagedReader : public FragmentReader {
  public:
-  PagedReader(PagedFragment* frag, std::shared_ptr<Dictionary> num_dict,
+  PagedReader(PagedFragment* frag, ExecContext* ctx,
+              std::shared_ptr<Dictionary> num_dict,
               PinnedResource num_dict_pin)
       : frag_(frag),
-        dv_it_(frag->data_.get()),
+        ctx_(ctx),
+        dv_it_(frag->data_.get(), ctx),
         num_dict_(std::move(num_dict)),
         num_dict_pin_(std::move(num_dict_pin)) {
     if (frag_->dict_ != nullptr) {
-      dict_it_ = std::make_unique<PagedDictionaryIterator>(frag_->dict_.get());
+      dict_it_ = std::make_unique<PagedDictionaryIterator>(frag_->dict_.get(),
+                                                           ctx);
     }
   }
 
@@ -55,14 +59,16 @@ class PagedReader : public FragmentReader {
     if (idx_it_ == nullptr) {
       PagedInvertedIndex* index = frag_->index();
       if (index != nullptr) {
-        idx_it_ = std::make_unique<PagedIndexIterator>(index);
+        idx_it_ = std::make_unique<PagedIndexIterator>(index, ctx_);
       }
     }
     if (idx_it_ != nullptr) {
       // Alg. 5: use the paged inverted index when it exists.
+      CountIndexLookup(ctx_);
       return idx_it_->Lookup(vid, out);
     }
     // Alg. 1: sequential scan of the paged data vector.
+    CountVectorScan(ctx_);
     return dv_it_.FindByValueId(vid, out);
   }
 
@@ -96,6 +102,7 @@ class PagedReader : public FragmentReader {
 
  private:
   PagedFragment* frag_;
+  ExecContext* ctx_;
   PagedDataVectorIterator dv_it_;
   std::unique_ptr<PagedDictionaryIterator> dict_it_;
   std::unique_ptr<PagedIndexIterator> idx_it_;
@@ -300,14 +307,15 @@ Status PagedFragment::RebuildIndexNow() {
   return Status::OK();
 }
 
-Result<std::unique_ptr<FragmentReader>> PagedFragment::NewReader() {
+Result<std::unique_ptr<FragmentReader>> PagedFragment::NewReader(
+    ExecContext* ctx) {
   std::shared_ptr<Dictionary> num_dict;
   PinnedResource num_pin;
   if (type_ != ValueType::kString) {
     PAYG_ASSIGN_OR_RETURN(num_dict, PinNumericDict(&num_pin));
   }
   return std::unique_ptr<FragmentReader>(
-      new PagedReader(this, std::move(num_dict), std::move(num_pin)));
+      new PagedReader(this, ctx, std::move(num_dict), std::move(num_pin)));
 }
 
 void PagedFragment::Unload() {

@@ -76,7 +76,9 @@ class PagedFragment : public MainFragment {
   // automatically by readers once the lookup threshold is reached.
   Status RebuildIndexNow();
 
-  Result<std::unique_ptr<FragmentReader>> NewReader() override;
+  Result<std::unique_ptr<FragmentReader>> NewReader(
+      ExecContext* ctx) override;
+  using MainFragment::NewReader;
   void Unload() override;
   uint64_t ResidentBytes() const override;
 

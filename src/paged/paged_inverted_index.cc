@@ -242,7 +242,7 @@ Result<uint64_t> PagedIndexIterator::ReadDirEntry(uint64_t k) {
   if (lpn != dir_lpn_ || !dir_page_.valid()) {
     dir_page_.Release();
     dir_lpn_ = kInvalidPageNo;
-    auto ref = index_->cache_->GetPage(lpn);
+    auto ref = index_->cache_->GetPage(lpn, ctx_);
     if (!ref.ok()) return ref.status();
     dir_page_ = std::move(*ref);
     dir_lpn_ = lpn;
@@ -281,7 +281,7 @@ Result<RowPos> PagedIndexIterator::ReadPosting(uint64_t j) {
   if (lpn != pl_lpn_ || !pl_page_.valid()) {
     pl_page_.Release();
     pl_lpn_ = kInvalidPageNo;
-    auto ref = index_->cache_->GetPage(lpn);
+    auto ref = index_->cache_->GetPage(lpn, ctx_);
     if (!ref.ok()) return ref.status();
     pl_page_ = std::move(*ref);
     pl_lpn_ = lpn;

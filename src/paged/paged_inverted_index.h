@@ -76,7 +76,10 @@ class PagedInvertedIndex {
 // already-loaded page.
 class PagedIndexIterator {
  public:
-  explicit PagedIndexIterator(PagedInvertedIndex* index) : index_(index) {}
+  // `ctx` (optional) attributes page pins/reads to the owning query.
+  explicit PagedIndexIterator(PagedInvertedIndex* index,
+                              ExecContext* ctx = nullptr)
+      : index_(index), ctx_(ctx) {}
 
   // Positions the iterator on `vid` and returns its first row position.
   // Returns NotFound if the vid has no postings (possible only for
@@ -102,6 +105,7 @@ class PagedIndexIterator {
   Result<RowPos> ReadPosting(uint64_t j);
 
   PagedInvertedIndex* index_;
+  ExecContext* ctx_ = nullptr;
   PageRef dir_page_;
   LogicalPageNo dir_lpn_ = kInvalidPageNo;
   PageRef pl_page_;

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/stopwatch.h"
+#include "exec/exec_context.h"
 
 namespace payg {
 
@@ -91,7 +92,8 @@ Status PageFile::WritePage(LogicalPageNo lpn, Page* page) {
   return Status::OK();
 }
 
-Status PageFile::ReadPage(LogicalPageNo lpn, Page* page) const {
+Status PageFile::ReadPage(LogicalPageNo lpn, Page* page,
+                          ExecContext* ctx) const {
   PAYG_ASSERT(page->size() == page_size_);
   if (lpn >= page_count_.load(std::memory_order_acquire)) {
     return Status::OutOfRange("page " + std::to_string(lpn) +
@@ -128,6 +130,7 @@ Status PageFile::ReadPage(LogicalPageNo lpn, Page* page) const {
     stats_->pages_read.fetch_add(1, std::memory_order_relaxed);
     stats_->bytes_read.fetch_add(page_size_, std::memory_order_relaxed);
   }
+  CountPageRead(ctx, page_size_);
   return Status::OK();
 }
 

@@ -13,6 +13,8 @@
 
 namespace payg {
 
+class ExecContext;
+
 // A chain of fixed-size pages backed by one file. The logical page number of
 // a page is its index in the file (offset = lpn * page_size), which makes
 // "find the page holding chunk k" a pure arithmetic operation — the property
@@ -49,7 +51,10 @@ class PageFile {
 
   // Reads the page at `lpn` into `page` (whose size must match), verifying
   // magic and checksum, and applying the configured simulated read latency.
-  Status ReadPage(LogicalPageNo lpn, Page* page) const;
+  // When a query's ExecContext is given, the read is attributed to it in
+  // addition to the store-wide IoStats.
+  Status ReadPage(LogicalPageNo lpn, Page* page,
+                  ExecContext* ctx = nullptr) const;
 
   // Number of pages currently in the chain.
   uint64_t page_count() const { return page_count_; }

@@ -110,13 +110,13 @@ Status Partition::MarkDeleted(RowPos rpos) {
   return Status::OK();
 }
 
-Result<std::vector<Value>> Partition::GetRow(RowPos rpos) {
+Result<std::vector<Value>> Partition::GetRow(RowPos rpos, ExecContext* ctx) {
   if (rpos >= row_count()) return Status::OutOfRange("row position");
   std::vector<Value> row;
   row.reserve(schema_->columns.size());
   if (rpos < main_rows_) {
     for (size_t c = 0; c < schema_->columns.size(); ++c) {
-      PAYG_ASSIGN_OR_RETURN(auto reader, mains_[c]->NewReader());
+      PAYG_ASSIGN_OR_RETURN(auto reader, mains_[c]->NewReader(ctx));
       PAYG_ASSIGN_OR_RETURN(ValueId vid, reader->GetVid(rpos));
       PAYG_ASSIGN_OR_RETURN(Value v, reader->GetValueForVid(vid));
       row.push_back(std::move(v));

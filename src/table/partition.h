@@ -60,8 +60,9 @@ class Partition {
     return rpos < deleted_.size() ? deleted_[rpos] == 0 : true;
   }
 
-  // Materializes the full row at `rpos` (visible or not).
-  Result<std::vector<Value>> GetRow(RowPos rpos);
+  // Materializes the full row at `rpos` (visible or not). `ctx` (optional)
+  // attributes the per-column reads to the owning query.
+  Result<std::vector<Value>> GetRow(RowPos rpos, ExecContext* ctx = nullptr);
 
   // Moves all committed delta rows into newly built main fragments,
   // compacting deleted rows, and resets the deltas (§2). Mains are rebuilt

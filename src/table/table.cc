@@ -7,8 +7,12 @@
 
 namespace payg {
 
-Table::Table(TableSchema schema, StorageManager* storage, ResourceManager* rm)
-    : schema_(std::move(schema)), storage_(storage), rm_(rm) {
+Table::Table(TableSchema schema, StorageManager* storage, ResourceManager* rm,
+             const ExecOptions& exec_options)
+    : schema_(std::move(schema)),
+      storage_(storage),
+      rm_(rm),
+      executor_(std::make_unique<QueryExecutor>(exec_options)) {
   // Partition 0 is the hot partition; aging-aware tables start as a
   // partitioned table with only the hot partition (§4.2).
   partitions_.push_back(
@@ -17,12 +21,14 @@ Table::Table(TableSchema schema, StorageManager* storage, ResourceManager* rm)
 
 Result<std::unique_ptr<Table>> Table::OpenExisting(
     TableSchema schema, StorageManager* storage, ResourceManager* rm,
-    const std::vector<PartitionManifest>& manifests) {
+    const std::vector<PartitionManifest>& manifests,
+    const ExecOptions& exec_options) {
   if (manifests.empty() || manifests[0].cold) {
     return Status::InvalidArgument("manifests must start with the hot "
                                    "partition");
   }
-  auto table = std::make_unique<Table>(std::move(schema), storage, rm);
+  auto table =
+      std::make_unique<Table>(std::move(schema), storage, rm, exec_options);
   table->partitions_.clear();
   for (uint32_t i = 0; i < manifests.size(); ++i) {
     PAYG_ASSIGN_OR_RETURN(
@@ -33,6 +39,10 @@ Result<std::unique_ptr<Table>> Table::OpenExisting(
     table->partitions_.push_back(std::move(part));
   }
   return table;
+}
+
+void Table::set_exec_options(const ExecOptions& options) {
+  executor_ = std::make_unique<QueryExecutor>(options);
 }
 
 std::vector<PartitionManifest> Table::Manifests() const {
@@ -76,7 +86,7 @@ Result<uint64_t> Table::AgeRows(const Value& threshold) {
           : (schema_.columns[temp_col].type == ValueType::kDouble
                  ? Value(-std::numeric_limits<double>::infinity())
                  : Value(std::string())),
-      threshold, &victims));
+      threshold, /*ctx=*/nullptr, &victims));
 
   // The move is ordinary DML (§4.2): insert into the cold delta, delete
   // from hot. No reorganisation of existing data happens here.
@@ -125,21 +135,144 @@ Result<std::vector<int>> Table::ResolveColumns(
   return cols;
 }
 
+// ---------------------------------------------------------------------------
+// Fan-out/merge drivers. Every query template reduces to one of these; the
+// executor runs `matcher` per partition (inline when worker_threads = 0) and
+// task i writes only slot i of the partials vector, so the merge below —
+// always in partition-id order — reproduces the serial loop's output exactly.
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> Table::ExecuteSelect(const PartitionMatcher& matcher,
+                                         const std::vector<int>& select_cols,
+                                         ExecContext* ctx) {
+  const size_t n = partitions_.size();
+  std::vector<QueryResult> partials(n);
+  PAYG_RETURN_IF_ERROR(
+      executor_->ForEach(ctx, n, [&](size_t i) -> Status {
+        Partition* part = partitions_[i].get();
+        CountPartitionVisited(ctx);
+        std::vector<RowPos> rows;
+        PAYG_RETURN_IF_ERROR(matcher(part, ctx, &rows));
+        return MaterializeRows(part, rows, select_cols, ctx, &partials[i]);
+      }));
+  QueryResult result;
+  size_t total = 0;
+  for (const QueryResult& p : partials) total += p.rows.size();
+  result.rows.reserve(total);
+  for (QueryResult& p : partials) {
+    for (auto& row : p.rows) result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+Result<uint64_t> Table::ExecuteCount(const PartitionMatcher& matcher,
+                                     ExecContext* ctx) {
+  const size_t n = partitions_.size();
+  std::vector<uint64_t> partials(n, 0);
+  PAYG_RETURN_IF_ERROR(
+      executor_->ForEach(ctx, n, [&](size_t i) -> Status {
+        Partition* part = partitions_[i].get();
+        CountPartitionVisited(ctx);
+        std::vector<RowPos> rows;
+        PAYG_RETURN_IF_ERROR(matcher(part, ctx, &rows));
+        partials[i] = rows.size();
+        return Status::OK();
+      }));
+  uint64_t count = 0;
+  for (uint64_t c : partials) count += c;
+  return count;
+}
+
+Result<std::vector<RowId>> Table::ExecuteRowIds(const PartitionMatcher& matcher,
+                                                ExecContext* ctx) {
+  const size_t n = partitions_.size();
+  std::vector<std::vector<RowId>> partials(n);
+  PAYG_RETURN_IF_ERROR(
+      executor_->ForEach(ctx, n, [&](size_t i) -> Status {
+        Partition* part = partitions_[i].get();
+        CountPartitionVisited(ctx);
+        std::vector<RowPos> rows;
+        PAYG_RETURN_IF_ERROR(matcher(part, ctx, &rows));
+        partials[i].reserve(rows.size());
+        for (RowPos r : rows) partials[i].push_back(RowId{part->id(), r});
+        return Status::OK();
+      }));
+  std::vector<RowId> ids;
+  size_t total = 0;
+  for (const auto& p : partials) total += p.size();
+  ids.reserve(total);
+  for (auto& p : partials) ids.insert(ids.end(), p.begin(), p.end());
+  return ids;
+}
+
+Result<double> Table::ExecuteSum(const PartitionMatcher& matcher, int sum_col,
+                                 ExecContext* ctx) {
+  const ValueType stype = schema_.columns[sum_col].type;
+  const size_t n = partitions_.size();
+  // Per-partition partial sums merged in partition order: floating-point
+  // addition is not associative, so both serial and parallel mode use this
+  // exact grouping to make the results bit-identical.
+  std::vector<double> partials(n, 0.0);
+  PAYG_RETURN_IF_ERROR(
+      executor_->ForEach(ctx, n, [&](size_t i) -> Status {
+        Partition* part = partitions_[i].get();
+        CountPartitionVisited(ctx);
+        std::vector<RowPos> rows;
+        PAYG_RETURN_IF_ERROR(matcher(part, ctx, &rows));
+        if (rows.empty()) return Status::OK();
+        const RowPos base = static_cast<RowPos>(part->main_row_count());
+        std::unique_ptr<FragmentReader> reader;
+        std::unordered_map<ValueId, double> memo;
+        double sum = 0;
+        for (RowPos r : rows) {
+          double v;
+          if (r < base) {
+            if (reader == nullptr) {
+              PAYG_ASSIGN_OR_RETURN(reader,
+                                    part->main(sum_col)->NewReader(ctx));
+            }
+            PAYG_ASSIGN_OR_RETURN(ValueId vid, reader->GetVid(r));
+            auto it = memo.find(vid);
+            if (it == memo.end()) {
+              PAYG_ASSIGN_OR_RETURN(Value mv, reader->GetValueForVid(vid));
+              double d = stype == ValueType::kInt64
+                             ? static_cast<double>(mv.AsInt64())
+                             : mv.AsDouble();
+              it = memo.emplace(vid, d).first;
+            }
+            v = it->second;
+          } else {
+            DeltaFragment* delta = part->delta(sum_col);
+            const Value& mv = delta->GetValue(delta->GetVid(r - base));
+            v = stype == ValueType::kInt64 ? static_cast<double>(mv.AsInt64())
+                                           : mv.AsDouble();
+          }
+          sum += v;
+        }
+        partials[i] = sum;
+        return Status::OK();
+      }));
+  double sum = 0;
+  for (double p : partials) sum += p;
+  return sum;
+}
+
 Status Table::FindMatches(Partition* part, int col, const Value& value,
-                          std::vector<RowPos>* out) {
+                          ExecContext* ctx, std::vector<RowPos>* out) {
   std::vector<RowPos> rows;
   // Main fragment: dictionary probe, then inverted index (Alg. 5) or data
   // vector scan (Alg. 1).
   if (part->main(col) != nullptr && part->main_row_count() > 0) {
-    PAYG_ASSIGN_OR_RETURN(auto reader, part->main(col)->NewReader());
+    PAYG_ASSIGN_OR_RETURN(auto reader, part->main(col)->NewReader(ctx));
     PAYG_ASSIGN_OR_RETURN(ValueId vid, reader->FindValueId(value));
     if (vid != kInvalidValueId) {
       PAYG_RETURN_IF_ERROR(reader->FindRows(vid, &rows));
     }
   }
-  // Delta fragment.
+  // Delta fragment (always a full value-space scan of the delta).
   std::vector<RowPos> delta_rows;
   part->delta(col)->FindRows(value, &delta_rows);
+  CountRowsScanned(ctx, part->delta(col)->row_count());
   const RowPos base = static_cast<RowPos>(part->main_row_count());
   for (RowPos r : delta_rows) rows.push_back(base + r);
   // Visibility.
@@ -150,10 +283,11 @@ Status Table::FindMatches(Partition* part, int col, const Value& value,
 }
 
 Status Table::FindMatchesRange(Partition* part, int col, const Value& lo,
-                               const Value& hi, std::vector<RowPos>* out) {
+                               const Value& hi, ExecContext* ctx,
+                               std::vector<RowPos>* out) {
   std::vector<RowPos> rows;
   if (part->main(col) != nullptr && part->main_row_count() > 0) {
-    PAYG_ASSIGN_OR_RETURN(auto reader, part->main(col)->NewReader());
+    PAYG_ASSIGN_OR_RETURN(auto reader, part->main(col)->NewReader(ctx));
     PAYG_ASSIGN_OR_RETURN(ValueId vlo, reader->LowerBoundVid(lo));
     PAYG_ASSIGN_OR_RETURN(ValueId vhi_excl, reader->UpperBoundVid(hi));
     if (vlo < vhi_excl) {
@@ -164,6 +298,7 @@ Status Table::FindMatchesRange(Partition* part, int col, const Value& lo,
   }
   std::vector<RowPos> delta_rows;
   part->delta(col)->FindRowsInRange(lo, hi, &delta_rows);
+  CountRowsScanned(ctx, part->delta(col)->row_count());
   const RowPos base = static_cast<RowPos>(part->main_row_count());
   for (RowPos r : delta_rows) rows.push_back(base + r);
   for (RowPos r : rows) {
@@ -173,11 +308,11 @@ Status Table::FindMatchesRange(Partition* part, int col, const Value& lo,
 }
 
 Status Table::FindMatchesIn(Partition* part, int col,
-                            const std::vector<Value>& values,
+                            const std::vector<Value>& values, ExecContext* ctx,
                             std::vector<RowPos>* out) {
   std::vector<RowPos> rows;
   if (part->main(col) != nullptr && part->main_row_count() > 0) {
-    PAYG_ASSIGN_OR_RETURN(auto reader, part->main(col)->NewReader());
+    PAYG_ASSIGN_OR_RETURN(auto reader, part->main(col)->NewReader(ctx));
     // Translate the IN-list into a sorted vid set through the dictionary;
     // absent values simply drop out.
     std::vector<ValueId> vids;
@@ -201,6 +336,7 @@ Status Table::FindMatchesIn(Partition* part, int col,
         return false;
       },
       &delta_rows);
+  CountRowsScanned(ctx, part->delta(col)->row_count());
   const RowPos base = static_cast<RowPos>(part->main_row_count());
   for (RowPos r : delta_rows) rows.push_back(base + r);
   for (RowPos r : rows) {
@@ -210,11 +346,11 @@ Status Table::FindMatchesIn(Partition* part, int col,
 }
 
 Status Table::FindMatchesPrefix(Partition* part, int col,
-                                const std::string& prefix,
+                                const std::string& prefix, ExecContext* ctx,
                                 std::vector<RowPos>* out) {
   std::vector<RowPos> rows;
   if (part->main(col) != nullptr && part->main_row_count() > 0) {
-    PAYG_ASSIGN_OR_RETURN(auto reader, part->main(col)->NewReader());
+    PAYG_ASSIGN_OR_RETURN(auto reader, part->main(col)->NewReader(ctx));
     // [LowerBound(prefix), LowerBound(successor)) is exactly the vid range
     // of strings starting with `prefix` — the dictionary is order
     // preserving. The successor is the prefix with its last byte bumped
@@ -249,6 +385,7 @@ Status Table::FindMatchesPrefix(Partition* part, int col,
                s.compare(0, prefix.size(), prefix) == 0;
       },
       &delta_rows);
+  CountRowsScanned(ctx, part->delta(col)->row_count());
   const RowPos base = static_cast<RowPos>(part->main_row_count());
   for (RowPos r : delta_rows) rows.push_back(base + r);
   for (RowPos r : rows) {
@@ -259,7 +396,7 @@ Status Table::FindMatchesPrefix(Partition* part, int col,
 
 Status Table::MaterializeRows(Partition* part, const std::vector<RowPos>& rows,
                               const std::vector<int>& select_cols,
-                              QueryResult* result) {
+                              ExecContext* ctx, QueryResult* result) {
   if (rows.empty()) return Status::OK();
   const size_t first_out = result->rows.size();
   result->rows.resize(first_out + rows.size());
@@ -275,7 +412,7 @@ Status Table::MaterializeRows(Partition* part, const std::vector<RowPos>& rows,
       Value v;
       if (rows[i] < base) {
         if (reader == nullptr) {
-          PAYG_ASSIGN_OR_RETURN(reader, part->main(col)->NewReader());
+          PAYG_ASSIGN_OR_RETURN(reader, part->main(col)->NewReader(ctx));
         }
         PAYG_ASSIGN_OR_RETURN(ValueId vid, reader->GetVid(rows[i]));
         auto it = memo.find(vid);
@@ -296,109 +433,75 @@ Status Table::MaterializeRows(Partition* part, const std::vector<RowPos>& rows,
 
 Result<QueryResult> Table::SelectByValue(
     const std::string& filter_column, const Value& value,
-    const std::vector<std::string>& select_columns) {
+    const std::vector<std::string>& select_columns, ExecContext* ctx) {
   int col = schema_.ColumnIndex(filter_column);
   if (col < 0) return Status::NotFound("no such column: " + filter_column);
   PAYG_ASSIGN_OR_RETURN(std::vector<int> select_cols,
                         ResolveColumns(select_columns));
-  QueryResult result;
-  for (auto& part : partitions_) {
-    std::vector<RowPos> rows;
-    PAYG_RETURN_IF_ERROR(FindMatches(part.get(), col, value, &rows));
-    PAYG_RETURN_IF_ERROR(
-        MaterializeRows(part.get(), rows, select_cols, &result));
-  }
-  return result;
+  return ExecuteSelect(
+      [this, col, &value](Partition* part, ExecContext* c,
+                          std::vector<RowPos>* rows) {
+        return FindMatches(part, col, value, c, rows);
+      },
+      select_cols, ctx);
 }
 
 Result<uint64_t> Table::CountByValue(const std::string& filter_column,
-                                     const Value& value) {
+                                     const Value& value, ExecContext* ctx) {
   int col = schema_.ColumnIndex(filter_column);
   if (col < 0) return Status::NotFound("no such column: " + filter_column);
-  uint64_t count = 0;
-  for (auto& part : partitions_) {
-    std::vector<RowPos> rows;
-    PAYG_RETURN_IF_ERROR(FindMatches(part.get(), col, value, &rows));
-    count += rows.size();
-  }
-  return count;
+  return ExecuteCount(
+      [this, col, &value](Partition* part, ExecContext* c,
+                          std::vector<RowPos>* rows) {
+        return FindMatches(part, col, value, c, rows);
+      },
+      ctx);
 }
 
 Result<std::vector<RowId>> Table::RowIdsByValue(
-    const std::string& filter_column, const Value& value) {
+    const std::string& filter_column, const Value& value, ExecContext* ctx) {
   int col = schema_.ColumnIndex(filter_column);
   if (col < 0) return Status::NotFound("no such column: " + filter_column);
-  std::vector<RowId> ids;
-  for (auto& part : partitions_) {
-    std::vector<RowPos> rows;
-    PAYG_RETURN_IF_ERROR(FindMatches(part.get(), col, value, &rows));
-    for (RowPos r : rows) ids.push_back(RowId{part->id(), r});
-  }
-  return ids;
+  return ExecuteRowIds(
+      [this, col, &value](Partition* part, ExecContext* c,
+                          std::vector<RowPos>* rows) {
+        return FindMatches(part, col, value, c, rows);
+      },
+      ctx);
 }
 
 Result<QueryResult> Table::SelectRange(
     const std::string& filter_column, const Value& lo, const Value& hi,
-    const std::vector<std::string>& select_columns) {
+    const std::vector<std::string>& select_columns, ExecContext* ctx) {
   int col = schema_.ColumnIndex(filter_column);
   if (col < 0) return Status::NotFound("no such column: " + filter_column);
   PAYG_ASSIGN_OR_RETURN(std::vector<int> select_cols,
                         ResolveColumns(select_columns));
-  QueryResult result;
-  for (auto& part : partitions_) {
-    std::vector<RowPos> rows;
-    PAYG_RETURN_IF_ERROR(FindMatchesRange(part.get(), col, lo, hi, &rows));
-    PAYG_RETURN_IF_ERROR(
-        MaterializeRows(part.get(), rows, select_cols, &result));
-  }
-  return result;
+  return ExecuteSelect(
+      [this, col, &lo, &hi](Partition* part, ExecContext* c,
+                            std::vector<RowPos>* rows) {
+        return FindMatchesRange(part, col, lo, hi, c, rows);
+      },
+      select_cols, ctx);
 }
 
 Result<double> Table::SumRange(const std::string& filter_column,
                                const Value& lo, const Value& hi,
-                               const std::string& sum_column) {
+                               const std::string& sum_column,
+                               ExecContext* ctx) {
   int col = schema_.ColumnIndex(filter_column);
   if (col < 0) return Status::NotFound("no such column: " + filter_column);
   int scol = schema_.ColumnIndex(sum_column);
   if (scol < 0) return Status::NotFound("no such column: " + sum_column);
-  ValueType stype = schema_.columns[scol].type;
-  if (stype == ValueType::kString) {
+  if (schema_.columns[scol].type == ValueType::kString) {
     return Status::InvalidArgument("SUM over a string column");
   }
-  double sum = 0;
-  for (auto& part : partitions_) {
-    std::vector<RowPos> rows;
-    PAYG_RETURN_IF_ERROR(FindMatchesRange(part.get(), col, lo, hi, &rows));
-    if (rows.empty()) continue;
-    const RowPos base = static_cast<RowPos>(part->main_row_count());
-    std::unique_ptr<FragmentReader> reader;
-    std::unordered_map<ValueId, double> memo;
-    for (RowPos r : rows) {
-      double v;
-      if (r < base) {
-        if (reader == nullptr) {
-          PAYG_ASSIGN_OR_RETURN(reader, part->main(scol)->NewReader());
-        }
-        PAYG_ASSIGN_OR_RETURN(ValueId vid, reader->GetVid(r));
-        auto it = memo.find(vid);
-        if (it == memo.end()) {
-          PAYG_ASSIGN_OR_RETURN(Value mv, reader->GetValueForVid(vid));
-          double d = stype == ValueType::kInt64
-                         ? static_cast<double>(mv.AsInt64())
-                         : mv.AsDouble();
-          it = memo.emplace(vid, d).first;
-        }
-        v = it->second;
-      } else {
-        DeltaFragment* delta = part->delta(scol);
-        const Value& mv = delta->GetValue(delta->GetVid(r - base));
-        v = stype == ValueType::kInt64 ? static_cast<double>(mv.AsInt64())
-                                       : mv.AsDouble();
-      }
-      sum += v;
-    }
-  }
-  return sum;
+  return ExecuteSum(
+      [this, col, &lo, &hi](Partition* part, ExecContext* c,
+                            std::vector<RowPos>* rows) {
+        return FindMatchesRange(part, col, lo, hi, c, rows);
+      },
+      scol, ctx);
 }
 
 namespace {
@@ -427,29 +530,29 @@ bool EvalPredicate(const Predicate& pred, const Value& v) {
 }  // namespace
 
 Status Table::FindByPredicate(Partition* part, const Predicate& pred,
-                              std::vector<RowPos>* out) {
+                              ExecContext* ctx, std::vector<RowPos>* out) {
   int col = schema_.ColumnIndex(pred.column);
   if (col < 0) return Status::NotFound("no such column: " + pred.column);
   switch (pred.op) {
     case Predicate::Op::kEq:
-      return FindMatches(part, col, pred.value, out);
+      return FindMatches(part, col, pred.value, ctx, out);
     case Predicate::Op::kBetween:
-      return FindMatchesRange(part, col, pred.lo, pred.hi, out);
+      return FindMatchesRange(part, col, pred.lo, pred.hi, ctx, out);
     case Predicate::Op::kIn:
-      return FindMatchesIn(part, col, pred.values, out);
+      return FindMatchesIn(part, col, pred.values, ctx, out);
     case Predicate::Op::kPrefix:
       if (schema_.columns[col].type != ValueType::kString) {
         return Status::InvalidArgument("prefix predicate on non-string "
                                        "column");
       }
-      return FindMatchesPrefix(part, col, pred.prefix, out);
+      return FindMatchesPrefix(part, col, pred.prefix, ctx, out);
   }
   return Status::Internal("unknown predicate op");
 }
 
 Status Table::NarrowByPredicate(Partition* part, const Predicate& pred,
                                 const std::vector<RowPos>& in,
-                                std::vector<RowPos>* out) {
+                                ExecContext* ctx, std::vector<RowPos>* out) {
   int col = schema_.ColumnIndex(pred.column);
   if (col < 0) return Status::NotFound("no such column: " + pred.column);
 
@@ -463,7 +566,7 @@ Status Table::NarrowByPredicate(Partition* part, const Predicate& pred,
 
   std::vector<RowPos> kept;
   if (!main_rows.empty()) {
-    PAYG_ASSIGN_OR_RETURN(auto reader, part->main(col)->NewReader());
+    PAYG_ASSIGN_OR_RETURN(auto reader, part->main(col)->NewReader(ctx));
     switch (pred.op) {
       case Predicate::Op::kEq: {
         PAYG_ASSIGN_OR_RETURN(ValueId vid, reader->FindValueId(pred.value));
@@ -494,6 +597,7 @@ Status Table::NarrowByPredicate(Partition* part, const Predicate& pred,
             kept.push_back(r);
           }
         }
+        CountRowsScanned(ctx, main_rows.size());
         break;
       }
       case Predicate::Op::kPrefix: {
@@ -530,6 +634,7 @@ Status Table::NarrowByPredicate(Partition* part, const Predicate& pred,
       kept.push_back(r);
     }
   }
+  CountRowsScanned(ctx, delta_rows.size());
   std::sort(kept.begin(), kept.end());
   out->insert(out->end(), kept.begin(), kept.end());
   return Status::OK();
@@ -537,14 +642,14 @@ Status Table::NarrowByPredicate(Partition* part, const Predicate& pred,
 
 Status Table::FindMatchesWhere(Partition* part,
                                const std::vector<Predicate>& conjuncts,
-                               std::vector<RowPos>* out) {
+                               ExecContext* ctx, std::vector<RowPos>* out) {
   PAYG_ASSERT(!conjuncts.empty());
   std::vector<RowPos> candidates;
-  PAYG_RETURN_IF_ERROR(FindByPredicate(part, conjuncts[0], &candidates));
+  PAYG_RETURN_IF_ERROR(FindByPredicate(part, conjuncts[0], ctx, &candidates));
   for (size_t i = 1; i < conjuncts.size() && !candidates.empty(); ++i) {
     std::vector<RowPos> next;
     PAYG_RETURN_IF_ERROR(
-        NarrowByPredicate(part, conjuncts[i], candidates, &next));
+        NarrowByPredicate(part, conjuncts[i], candidates, ctx, &next));
     candidates = std::move(next);
   }
   out->insert(out->end(), candidates.begin(), candidates.end());
@@ -553,68 +658,64 @@ Status Table::FindMatchesWhere(Partition* part,
 
 Result<QueryResult> Table::SelectWhere(
     const std::vector<Predicate>& conjuncts,
-    const std::vector<std::string>& select_columns) {
+    const std::vector<std::string>& select_columns, ExecContext* ctx) {
   if (conjuncts.empty()) {
     return Status::InvalidArgument("SelectWhere needs at least one conjunct");
   }
   PAYG_ASSIGN_OR_RETURN(std::vector<int> select_cols,
                         ResolveColumns(select_columns));
-  QueryResult result;
-  for (auto& part : partitions_) {
-    std::vector<RowPos> rows;
-    PAYG_RETURN_IF_ERROR(FindMatchesWhere(part.get(), conjuncts, &rows));
-    PAYG_RETURN_IF_ERROR(
-        MaterializeRows(part.get(), rows, select_cols, &result));
-  }
-  return result;
+  return ExecuteSelect(
+      [this, &conjuncts](Partition* part, ExecContext* c,
+                         std::vector<RowPos>* rows) {
+        return FindMatchesWhere(part, conjuncts, c, rows);
+      },
+      select_cols, ctx);
 }
 
-Result<uint64_t> Table::CountWhere(const std::vector<Predicate>& conjuncts) {
+Result<uint64_t> Table::CountWhere(const std::vector<Predicate>& conjuncts,
+                                   ExecContext* ctx) {
   if (conjuncts.empty()) {
     return Status::InvalidArgument("CountWhere needs at least one conjunct");
   }
-  uint64_t count = 0;
-  for (auto& part : partitions_) {
-    std::vector<RowPos> rows;
-    PAYG_RETURN_IF_ERROR(FindMatchesWhere(part.get(), conjuncts, &rows));
-    count += rows.size();
-  }
-  return count;
+  return ExecuteCount(
+      [this, &conjuncts](Partition* part, ExecContext* c,
+                         std::vector<RowPos>* rows) {
+        return FindMatchesWhere(part, conjuncts, c, rows);
+      },
+      ctx);
 }
 
 Result<QueryResult> Table::SelectIn(
     const std::string& filter_column, const std::vector<Value>& values,
-    const std::vector<std::string>& select_columns) {
+    const std::vector<std::string>& select_columns, ExecContext* ctx) {
   int col = schema_.ColumnIndex(filter_column);
   if (col < 0) return Status::NotFound("no such column: " + filter_column);
   PAYG_ASSIGN_OR_RETURN(std::vector<int> select_cols,
                         ResolveColumns(select_columns));
-  QueryResult result;
-  for (auto& part : partitions_) {
-    std::vector<RowPos> rows;
-    PAYG_RETURN_IF_ERROR(FindMatchesIn(part.get(), col, values, &rows));
-    PAYG_RETURN_IF_ERROR(
-        MaterializeRows(part.get(), rows, select_cols, &result));
-  }
-  return result;
+  return ExecuteSelect(
+      [this, col, &values](Partition* part, ExecContext* c,
+                           std::vector<RowPos>* rows) {
+        return FindMatchesIn(part, col, values, c, rows);
+      },
+      select_cols, ctx);
 }
 
 Result<uint64_t> Table::CountIn(const std::string& filter_column,
-                                const std::vector<Value>& values) {
+                                const std::vector<Value>& values,
+                                ExecContext* ctx) {
   int col = schema_.ColumnIndex(filter_column);
   if (col < 0) return Status::NotFound("no such column: " + filter_column);
-  uint64_t count = 0;
-  for (auto& part : partitions_) {
-    std::vector<RowPos> rows;
-    PAYG_RETURN_IF_ERROR(FindMatchesIn(part.get(), col, values, &rows));
-    count += rows.size();
-  }
-  return count;
+  return ExecuteCount(
+      [this, col, &values](Partition* part, ExecContext* c,
+                           std::vector<RowPos>* rows) {
+        return FindMatchesIn(part, col, values, c, rows);
+      },
+      ctx);
 }
 
 Result<QueryResult> Table::SelectPrefix(
     const std::string& filter_column, const std::string& prefix,
-    const std::vector<std::string>& select_columns) {
+    const std::vector<std::string>& select_columns, ExecContext* ctx) {
   int col = schema_.ColumnIndex(filter_column);
   if (col < 0) return Status::NotFound("no such column: " + filter_column);
   if (schema_.columns[col].type != ValueType::kString) {
@@ -622,30 +723,28 @@ Result<QueryResult> Table::SelectPrefix(
   }
   PAYG_ASSIGN_OR_RETURN(std::vector<int> select_cols,
                         ResolveColumns(select_columns));
-  QueryResult result;
-  for (auto& part : partitions_) {
-    std::vector<RowPos> rows;
-    PAYG_RETURN_IF_ERROR(FindMatchesPrefix(part.get(), col, prefix, &rows));
-    PAYG_RETURN_IF_ERROR(
-        MaterializeRows(part.get(), rows, select_cols, &result));
-  }
-  return result;
+  return ExecuteSelect(
+      [this, col, &prefix](Partition* part, ExecContext* c,
+                           std::vector<RowPos>* rows) {
+        return FindMatchesPrefix(part, col, prefix, c, rows);
+      },
+      select_cols, ctx);
 }
 
 Result<uint64_t> Table::CountPrefix(const std::string& filter_column,
-                                    const std::string& prefix) {
+                                    const std::string& prefix,
+                                    ExecContext* ctx) {
   int col = schema_.ColumnIndex(filter_column);
   if (col < 0) return Status::NotFound("no such column: " + filter_column);
   if (schema_.columns[col].type != ValueType::kString) {
     return Status::InvalidArgument("prefix predicate on non-string column");
   }
-  uint64_t count = 0;
-  for (auto& part : partitions_) {
-    std::vector<RowPos> rows;
-    PAYG_RETURN_IF_ERROR(FindMatchesPrefix(part.get(), col, prefix, &rows));
-    count += rows.size();
-  }
-  return count;
+  return ExecuteCount(
+      [this, col, &prefix](Partition* part, ExecContext* c,
+                           std::vector<RowPos>* rows) {
+        return FindMatchesPrefix(part, col, prefix, c, rows);
+      },
+      ctx);
 }
 
 void Table::UnloadAll() {

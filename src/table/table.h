@@ -1,10 +1,12 @@
 #ifndef PAYG_TABLE_TABLE_H_
 #define PAYG_TABLE_TABLE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "exec/query_executor.h"
 #include "table/partition.h"
 #include "table/schema.h"
 
@@ -23,6 +25,10 @@ struct RowId {
 // Materialized query result.
 struct QueryResult {
   std::vector<std::vector<Value>> rows;
+
+  bool operator==(const QueryResult& other) const {
+    return rows == other.rows;
+  }
 };
 
 // One conjunct of a WHERE clause. Conjunctive queries evaluate the first
@@ -83,19 +89,26 @@ struct PartitionManifest {
 
 class Table {
  public:
-  Table(TableSchema schema, StorageManager* storage, ResourceManager* rm);
+  Table(TableSchema schema, StorageManager* storage, ResourceManager* rm,
+        const ExecOptions& exec_options = ExecOptions{});
 
   // Restart path: re-attaches a table whose partitions were persisted by a
   // checkpoint. manifests[0] must be the hot partition.
   static Result<std::unique_ptr<Table>> OpenExisting(
       TableSchema schema, StorageManager* storage, ResourceManager* rm,
-      const std::vector<PartitionManifest>& manifests);
+      const std::vector<PartitionManifest>& manifests,
+      const ExecOptions& exec_options = ExecOptions{});
 
   // Manifests describing the current partitions (for the catalog). Only
   // meaningful right after MergeAll (deltas are memory-only).
   std::vector<PartitionManifest> Manifests() const;
 
   const TableSchema& schema() const { return schema_; }
+
+  // Replaces the execution layer (e.g. to switch worker count between
+  // benchmark phases). Must not race with running queries.
+  void set_exec_options(const ExecOptions& options);
+  const ExecOptions& exec_options() const { return executor_->options(); }
 
   // Appends a row to the hot partition's delta fragments.
   Status Insert(const std::vector<Value>& row);
@@ -124,40 +137,55 @@ class Table {
   uint64_t visible_row_count() const;
 
   // --- queries (the §6 workload templates) ---------------------------------
+  //
+  // Every template fans its per-partition work out through the shared
+  // QueryExecutor and merges partition results in partition-id order, so
+  // serial (worker_threads = 0) and parallel runs return identical results.
+  // The optional ExecContext collects per-query counters and carries the
+  // query deadline; null means "no accounting".
 
   // SELECT <select_columns> FROM T WHERE <filter_column> = <value>
   Result<QueryResult> SelectByValue(const std::string& filter_column,
                                     const Value& value,
                                     const std::vector<std::string>&
-                                        select_columns);
+                                        select_columns,
+                                    ExecContext* ctx = nullptr);
 
   // SELECT COUNT(*) FROM T WHERE <filter_column> = <value>
   Result<uint64_t> CountByValue(const std::string& filter_column,
-                                const Value& value);
+                                const Value& value,
+                                ExecContext* ctx = nullptr);
 
   // SELECT ROWID() FROM T WHERE <filter_column> = <value>
   Result<std::vector<RowId>> RowIdsByValue(const std::string& filter_column,
-                                           const Value& value);
+                                           const Value& value,
+                                           ExecContext* ctx = nullptr);
 
   // SELECT <select_columns> FROM T WHERE lo <= <filter_column> <= hi
   Result<QueryResult> SelectRange(const std::string& filter_column,
                                   const Value& lo, const Value& hi,
                                   const std::vector<std::string>&
-                                      select_columns);
+                                      select_columns,
+                                  ExecContext* ctx = nullptr);
 
-  // SELECT SUM(<sum_column>) FROM T WHERE lo <= <filter_column> <= hi
+  // SELECT SUM(<sum_column>) FROM T WHERE lo <= <filter_column> <= hi.
+  // Summation is per-partition partials merged in partition order in both
+  // serial and parallel mode, keeping the floating-point result identical.
   Result<double> SumRange(const std::string& filter_column, const Value& lo,
-                          const Value& hi, const std::string& sum_column);
+                          const Value& hi, const std::string& sum_column,
+                          ExecContext* ctx = nullptr);
 
   // SELECT <select_columns> FROM T WHERE <filter_column> IN (<values>)
   Result<QueryResult> SelectIn(const std::string& filter_column,
                                const std::vector<Value>& values,
                                const std::vector<std::string>&
-                                   select_columns);
+                                   select_columns,
+                               ExecContext* ctx = nullptr);
 
   // SELECT COUNT(*) FROM T WHERE <filter_column> IN (<values>)
   Result<uint64_t> CountIn(const std::string& filter_column,
-                           const std::vector<Value>& values);
+                           const std::vector<Value>& values,
+                           ExecContext* ctx = nullptr);
 
   // SELECT <select_columns> FROM T WHERE <filter_column> LIKE '<prefix>%'
   // (string columns only). The prefix predicate is translated to a vid
@@ -165,18 +193,22 @@ class Table {
   Result<QueryResult> SelectPrefix(const std::string& filter_column,
                                    const std::string& prefix,
                                    const std::vector<std::string>&
-                                       select_columns);
+                                       select_columns,
+                                   ExecContext* ctx = nullptr);
 
   Result<uint64_t> CountPrefix(const std::string& filter_column,
-                               const std::string& prefix);
+                               const std::string& prefix,
+                               ExecContext* ctx = nullptr);
 
   // SELECT <select_columns> FROM T WHERE <p1> AND <p2> AND ...
   Result<QueryResult> SelectWhere(const std::vector<Predicate>& conjuncts,
                                   const std::vector<std::string>&
-                                      select_columns);
+                                      select_columns,
+                                  ExecContext* ctx = nullptr);
 
   // SELECT COUNT(*) FROM T WHERE <p1> AND <p2> AND ...
-  Result<uint64_t> CountWhere(const std::vector<Predicate>& conjuncts);
+  Result<uint64_t> CountWhere(const std::vector<Predicate>& conjuncts,
+                              ExecContext* ctx = nullptr);
 
   // --- memory control -------------------------------------------------------
   void UnloadAll();
@@ -201,33 +233,53 @@ class Table {
   std::vector<ColumnStats> CollectColumnStats() const;
 
  private:
+  // Finds matching rows of one partition. Invoked once per partition by the
+  // executor drivers — possibly concurrently, so implementations touch only
+  // the given partition, per-call readers, and the (atomic) ctx counters.
+  using PartitionMatcher =
+      std::function<Status(Partition*, ExecContext*, std::vector<RowPos>*)>;
+
+  // The shared fan-out/merge drivers behind every query template. Each runs
+  // `matcher` on every partition via the executor (task i writes slot i of a
+  // partials vector) and merges the slots in partition-id order.
+  Result<QueryResult> ExecuteSelect(const PartitionMatcher& matcher,
+                                    const std::vector<int>& select_cols,
+                                    ExecContext* ctx);
+  Result<uint64_t> ExecuteCount(const PartitionMatcher& matcher,
+                                ExecContext* ctx);
+  Result<std::vector<RowId>> ExecuteRowIds(const PartitionMatcher& matcher,
+                                           ExecContext* ctx);
+  Result<double> ExecuteSum(const PartitionMatcher& matcher, int sum_col,
+                            ExecContext* ctx);
+
   // Row positions in `part` whose `col` equals `value`, visible rows only.
   Status FindMatches(Partition* part, int col, const Value& value,
-                     std::vector<RowPos>* out);
+                     ExecContext* ctx, std::vector<RowPos>* out);
   // Row positions in `part` whose `col` is within [lo, hi], visible only.
   Status FindMatchesRange(Partition* part, int col, const Value& lo,
-                          const Value& hi, std::vector<RowPos>* out);
+                          const Value& hi, ExecContext* ctx,
+                          std::vector<RowPos>* out);
   // Row positions in `part` whose `col` is in `values`, visible only.
   Status FindMatchesIn(Partition* part, int col,
-                       const std::vector<Value>& values,
+                       const std::vector<Value>& values, ExecContext* ctx,
                        std::vector<RowPos>* out);
   // Row positions in `part` whose string `col` starts with `prefix`.
   Status FindMatchesPrefix(Partition* part, int col, const std::string& prefix,
-                           std::vector<RowPos>* out);
+                           ExecContext* ctx, std::vector<RowPos>* out);
   // Dispatches one predicate to the matcher above (the "driving" conjunct).
   Status FindByPredicate(Partition* part, const Predicate& pred,
-                         std::vector<RowPos>* out);
+                         ExecContext* ctx, std::vector<RowPos>* out);
   // Narrows candidate rows of `part` by an additional conjunct.
   Status NarrowByPredicate(Partition* part, const Predicate& pred,
-                           const std::vector<RowPos>& in,
+                           const std::vector<RowPos>& in, ExecContext* ctx,
                            std::vector<RowPos>* out);
   // Row positions matching every conjunct, per partition.
   Status FindMatchesWhere(Partition* part,
                           const std::vector<Predicate>& conjuncts,
-                          std::vector<RowPos>* out);
+                          ExecContext* ctx, std::vector<RowPos>* out);
   // Materializes `select_columns` of the given rows of one partition.
   Status MaterializeRows(Partition* part, const std::vector<RowPos>& rows,
-                         const std::vector<int>& select_cols,
+                         const std::vector<int>& select_cols, ExecContext* ctx,
                          QueryResult* result);
   Result<std::vector<int>> ResolveColumns(
       const std::vector<std::string>& names) const;
@@ -236,6 +288,7 @@ class Table {
   StorageManager* storage_;
   ResourceManager* rm_;
   std::vector<std::unique_ptr<Partition>> partitions_;
+  std::unique_ptr<QueryExecutor> executor_;
 };
 
 }  // namespace payg

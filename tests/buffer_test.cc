@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -134,11 +136,14 @@ TEST(ResourceManagerTest, RegisterPinnedStartsPinned) {
 TEST(ResourceManagerTest, ProactiveSweepShrinksToLowerLimit) {
   ResourceManager rm;
   std::atomic<int> evicted{0};
-  rm.SetPoolLimits(PoolId::kPagedPool, {200, 1000});
   for (int i = 0; i < 15; ++i) {
     rm.Register("pg" + std::to_string(i), 100, Disposition::kPagedAttribute,
                 PoolId::kPagedPool, [&] { evicted++; });
   }
+  // Limits set after registration: whichever sweep runs first (this call or
+  // the background sweeper's periodic wake) sees all 1500 bytes, so the
+  // assertions hold under any interleaving.
+  rm.SetPoolLimits(PoolId::kPagedPool, {200, 1000});
   rm.SweepNow();
   // 1500 bytes > upper 1000 → shrink to lower limit 200.
   EXPECT_LE(rm.pool_bytes(PoolId::kPagedPool), 200u);
@@ -291,6 +296,100 @@ TEST(PinnedResourceTest, MoveTransfersOwnership) {
   rm.SetGlobalBudget(1);
   EXPECT_EQ(rm.total_bytes(), 0u);
   (void)evicted;
+}
+
+TEST(PinnedResourceTest, SelfMoveKeepsPin) {
+  ResourceManager rm;
+  ResourceId id =
+      rm.Register("r", 10, Disposition::kMidTerm, PoolId::kGeneral, nullptr);
+  PinnedResource a = PinnedResource::TryPin(&rm, id);
+  ASSERT_TRUE(a.valid());
+  // A self-move must be a no-op: the old implementation released the pin
+  // first and then "transferred" from the already-cleared object, silently
+  // dropping the protection.
+  PinnedResource& alias = a;
+  a = std::move(alias);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.id(), id);
+  // The resource is still pinned: a tight budget cannot evict it.
+  std::atomic<int> evicted{0};
+  rm.Register("victim", 10, Disposition::kTemporary, PoolId::kGeneral,
+              [&] { evicted.fetch_add(1); });
+  rm.SetGlobalBudget(5);
+  EXPECT_EQ(rm.total_bytes(), 10u);  // only the pinned survivor remains
+  a.Release();
+  rm.SetGlobalBudget(5);
+  EXPECT_EQ(rm.total_bytes(), 0u);
+}
+
+TEST(ResourceManagerStressTest, ConcurrentPinTouchUnregister) {
+  // N threads register/pin/touch/unregister against a tight budget while
+  // the sweeper evicts: every resource must be released exactly once
+  // (registered = evicted + unregistered), byte accounting must return to
+  // zero, and no entry may be double-evicted.
+  ResourceManager rm;
+  rm.SetGlobalBudget(64 * 100);  // roughly half the peak working set
+  rm.SetPoolLimits(PoolId::kPagedPool,
+                   ResourceManager::Limits{32 * 100, 48 * 100});
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> unregistered{0};
+  std::atomic<uint64_t> double_evictions{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<ResourceId> mine;
+      std::vector<std::shared_ptr<std::atomic<int>>> flags;
+      for (int i = 0; i < kPerThread; ++i) {
+        auto flag = std::make_shared<std::atomic<int>>(0);
+        ResourceId id = rm.RegisterPinned(
+            "s" + std::to_string(t) + "_" + std::to_string(i), 100,
+            Disposition::kPagedAttribute, PoolId::kPagedPool, [flag, &evictions,
+                                                               &double_evictions] {
+              if (flag->fetch_add(1) != 0) double_evictions.fetch_add(1);
+              evictions.fetch_add(1);
+            });
+        mine.push_back(id);
+        flags.push_back(flag);
+        rm.Unpin(id);  // release the registration pin; now evictable
+        rm.Touch(id);
+        // Re-pin and unpin a few of the survivors to stir the LRU.
+        if (i % 3 == 0 && rm.Pin(id)) {
+          rm.Touch(id);
+          rm.Unpin(id);
+        }
+        if (i % 7 == 0) {
+          // Voluntarily drop an older resource; false means it was already
+          // evicted, in which case its callback must have run instead.
+          size_t victim = mine.size() / 2;
+          if (rm.Unregister(mine[victim])) {
+            unregistered.fetch_add(1);
+            if (flags[victim]->fetch_add(1) != 0) double_evictions.fetch_add(1);
+          }
+        }
+      }
+      // Drop everything that is still registered.
+      for (size_t i = 0; i < mine.size(); ++i) {
+        if (rm.Unregister(mine[i])) {
+          unregistered.fetch_add(1);
+          if (flags[i]->fetch_add(1) != 0) double_evictions.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  rm.SweepNow();
+
+  EXPECT_EQ(double_evictions.load(), 0u);
+  EXPECT_EQ(evictions.load() + unregistered.load(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(rm.total_bytes(), 0u);
+  EXPECT_EQ(rm.pool_bytes(PoolId::kPagedPool), 0u);
+  EXPECT_EQ(rm.stats().resource_count, 0u);
 }
 
 }  // namespace
