@@ -5,8 +5,11 @@
 // aggregated ExecContext counters, which are identical across settings —
 // parallelism changes wall clock, not work done.
 
+#include <fstream>
+
 #include "bench/bench_common.h"
 #include "exec/exec_context.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -52,12 +55,19 @@ int main() {
   const Value date_lo = date.ValueAt(date.cardinality / 8);
   const Value date_hi = date.ValueAt((date.cardinality * 7) / 8);
 
+  // Tracing is on by default (PAYG_TRACE=0 turns it off, e.g. to measure
+  // the disabled-path overhead). The ring keeps the newest 64k spans, so
+  // the dump below shows the last worker setting's execution in detail.
+  const bool tracing = EnvU64("PAYG_TRACE", 1) != 0;
+  if (tracing) obs::Tracer::Global().Enable(1 << 16);
+
   std::printf("workers,queries,seconds,qps,pages_pinned,pages_read,"
               "bytes_read,rows_scanned,index_lookups,vector_scans,"
               "partitions_visited\n");
   for (uint32_t workers : {0u, 1u, 2u, 4u, 8u}) {
     table->set_exec_options(ExecOptions{workers});
     table->UnloadAll();  // identical cold start for every setting
+    obs::MetricsRegistry::Global().ResetAll();  // registry scoped per setting
     ErpWorkload workload(config, /*seed=*/7001);
     ExecContext ctx;
     Stopwatch timer;
@@ -99,6 +109,22 @@ int main() {
                 static_cast<unsigned long long>(s.index_lookups),
                 static_cast<unsigned long long>(s.vector_scans),
                 static_cast<unsigned long long>(s.partitions_visited));
+    char tag[32];
+    std::snprintf(tag, sizeof(tag), "workers=%u", workers);
+    PrintMetricsSnapshot(tag);
+  }
+
+  if (tracing) {
+    obs::Tracer::Global().Disable();
+    const std::string trace_path = "exec_parallel.trace.json";
+    std::ofstream out(trace_path);
+    out << obs::Tracer::Global().DumpChromeTrace();
+    out.close();
+    std::printf("# trace: %llu spans recorded (%llu dropped), newest %u "
+                "written to %s — load in Perfetto / chrome://tracing\n",
+                static_cast<unsigned long long>(obs::Tracer::Global().recorded()),
+                static_cast<unsigned long long>(obs::Tracer::Global().dropped()),
+                1u << 16, trace_path.c_str());
   }
   std::filesystem::remove_all(env.dir);
   return 0;

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full verification: regular build + complete test suite, then a
 # ThreadSanitizer build running the concurrency-sensitive suites (the
-# resource manager's striped touch buffers and the partition-parallel
-# executor). Usage: scripts/check.sh [build-dir-prefix]
+# resource manager's striped touch buffers, the partition-parallel
+# executor, and the lock-free metrics/trace ring).
+# Usage: scripts/check.sh [build-dir-prefix]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,10 +14,11 @@ cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 
-echo "== TSan build: buffer + exec suites =="
+echo "== TSan build: buffer + exec + obs suites =="
 cmake -B "$BUILD-tsan" -S . -DPAYG_SANITIZE=thread >/dev/null
-cmake --build "$BUILD-tsan" -j --target buffer_test exec_test
+cmake --build "$BUILD-tsan" -j --target buffer_test exec_test obs_test
 "$BUILD-tsan"/tests/buffer_test
 "$BUILD-tsan"/tests/exec_test
+"$BUILD-tsan"/tests/obs_test
 
 echo "check.sh: all green"

@@ -3,11 +3,37 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace payg {
 
 ResourceManager::ResourceManager() {
+  auto& reg = obs::MetricsRegistry::Global();
+  m_evict_reactive_ = reg.counter("rm.evictions.reactive");
+  m_evict_proactive_ = reg.counter("rm.evictions.proactive");
+  m_evicted_bytes_ = reg.counter("rm.evicted.bytes");
+  m_sweep_duration_us_ = reg.histogram("rm.sweep.duration_us");
+  m_bytes_total_ = reg.gauge("rm.bytes.total");
+  m_bytes_pool_[static_cast<int>(PoolId::kGeneral)] =
+      reg.gauge("rm.bytes.general");
+  m_bytes_pool_[static_cast<int>(PoolId::kPagedPool)] =
+      reg.gauge("rm.bytes.paged");
+  m_bytes_pool_[static_cast<int>(PoolId::kColdPagedPool)] =
+      reg.gauge("rm.bytes.cold_paged");
+  m_resources_ = reg.gauge("rm.resources");
   sweeper_ = std::thread([this] { BackgroundSweeper(); });
+}
+
+void ResourceManager::UpdateGaugesLocked() {
+  // Gauges show the level of *this* manager; with several stores in one
+  // process the last writer wins, which is fine for the single-store
+  // benchmarks these feed. Counters above aggregate across managers.
+  m_bytes_total_->Set(static_cast<int64_t>(total_bytes_));
+  for (int p = 0; p < kNumPools; ++p) {
+    m_bytes_pool_[p]->Set(static_cast<int64_t>(pool_bytes_[p]));
+  }
+  m_resources_->Set(static_cast<int64_t>(entries_.size()));
 }
 
 ResourceManager::~ResourceManager() {
@@ -62,6 +88,7 @@ ResourceId ResourceManager::RegisterInternal(std::string label, uint64_t bytes,
     counters_.resource_count = entries_.size();
 
     ReactiveEvictLocked(&callbacks);
+    UpdateGaugesLocked();
 
     const Limits& lim = pool_limits_[pool_idx];
     if (lim.upper != 0 && pool_bytes_[pool_idx] > lim.upper) {
@@ -181,6 +208,8 @@ void ResourceManager::SetPoolLimits(PoolId pool, Limits limits) {
 }
 
 void ResourceManager::SweepNow() {
+  obs::TraceSpan span("buffer", "sweep");
+  Stopwatch timer;
   std::vector<EvictCallback> callbacks;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -189,13 +218,14 @@ void ResourceManager::SweepNow() {
       const Limits& lim = pool_limits_[p];
       if (lim.upper != 0 && pool_bytes_[p] > lim.upper) {
         CollectPagedVictimsLocked(static_cast<PoolId>(p), lim.lower,
-                                  &callbacks);
+                                  /*proactive=*/true, &callbacks);
       }
     }
   }
   for (auto& cb : callbacks) {
     if (cb) cb();
   }
+  m_sweep_duration_us_->Record(static_cast<uint64_t>(timer.ElapsedMicros()));
 }
 
 ResourceManagerStats ResourceManager::stats() const {
@@ -228,18 +258,23 @@ void ResourceManager::RemoveEntryLocked(ResourceId id, bool count_as_eviction,
   total_bytes_ -= e.bytes;
   if (count_as_eviction) {
     counters_.evicted_bytes += e.bytes;
+    m_evicted_bytes_->Add(e.bytes);
     if (proactive) {
       ++counters_.proactive_evictions;
+      m_evict_proactive_->Inc();
     } else {
       ++counters_.reactive_evictions;
+      m_evict_reactive_->Inc();
     }
   }
   entries_.erase(it);
   counters_.resource_count = entries_.size();
+  UpdateGaugesLocked();
 }
 
 void ResourceManager::CollectPagedVictimsLocked(
-    PoolId pool, uint64_t target, std::vector<EvictCallback>* callbacks) {
+    PoolId pool, uint64_t target, bool proactive,
+    std::vector<EvictCallback>* callbacks) {
   auto pool_idx = static_cast<int>(pool);
   // Plain LRU front-to-back; disposition weight deliberately plays no role
   // for paged-attribute resources (§5).
@@ -252,7 +287,7 @@ void ResourceManager::CollectPagedVictimsLocked(
       continue;
     }
     callbacks->push_back(std::move(e.on_evict));
-    RemoveEntryLocked(id, /*count_as_eviction=*/true, /*proactive=*/true);
+    RemoveEntryLocked(id, /*count_as_eviction=*/true, proactive);
   }
 }
 
@@ -296,13 +331,9 @@ void ResourceManager::ReactiveEvictLocked(
   for (int p = 0; p < kNumPools; ++p) {
     if (total_bytes_ <= global_budget_) break;
     if (p == static_cast<int>(PoolId::kGeneral)) continue;
-    size_t before = callbacks->size();
+    // These count as reactive, not proactive: budget pressure, not sweeper.
     CollectPagedVictimsLocked(static_cast<PoolId>(p), pool_limits_[p].lower,
-                              callbacks);
-    // These count as reactive, not proactive.
-    uint64_t n = callbacks->size() - before;
-    counters_.proactive_evictions -= n;
-    counters_.reactive_evictions += n;
+                              /*proactive=*/false, callbacks);
   }
   if (total_bytes_ > global_budget_) {
     CollectWeightedVictimsLocked(global_budget_, callbacks);
@@ -314,19 +345,30 @@ void ResourceManager::BackgroundSweeper() {
   while (!shutting_down_) {
     sweeper_cv_.wait_for(lock, std::chrono::milliseconds(20));
     if (shutting_down_) break;
+    const auto sweep_start = std::chrono::steady_clock::now();
     std::vector<EvictCallback> callbacks;
     FlushTouchesLocked();
     for (int p = 0; p < kNumPools; ++p) {
       const Limits& lim = pool_limits_[p];
       if (lim.upper != 0 && pool_bytes_[p] > lim.upper) {
         CollectPagedVictimsLocked(static_cast<PoolId>(p), lim.lower,
-                                  &callbacks);
+                                  /*proactive=*/true, &callbacks);
       }
     }
     if (!callbacks.empty()) {
       lock.unlock();
       for (auto& cb : callbacks) {
         if (cb) cb();
+      }
+      // Only sweeps that actually evicted register a duration/span — the
+      // idle 20ms ticks would otherwise drown the histogram in zeros.
+      m_sweep_duration_us_->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - sweep_start)
+              .count()));
+      if (obs::Tracer::enabled()) {
+        obs::Tracer::Global().RecordSpan("buffer", "sweep", sweep_start,
+                                         callbacks.size());
       }
       lock.lock();
     }

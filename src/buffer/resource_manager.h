@@ -15,6 +15,7 @@
 
 #include "buffer/disposition.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace payg {
 
@@ -124,7 +125,9 @@ class ResourceManager {
   };
 
   // Collects victims (under lock) until pool usage <= target, plain LRU.
-  void CollectPagedVictimsLocked(PoolId pool, uint64_t target,
+  // `proactive` only labels the eviction counters (sweeper vs. budget
+  // pressure).
+  void CollectPagedVictimsLocked(PoolId pool, uint64_t target, bool proactive,
                                  std::vector<EvictCallback>* callbacks);
   // Collects general-pool victims by descending t/w until total <= target.
   void CollectWeightedVictimsLocked(uint64_t target,
@@ -144,6 +147,9 @@ class ResourceManager {
                          bool proactive);
   void ReactiveEvictLocked(std::vector<EvictCallback>* callbacks);
   void BackgroundSweeper();
+  // Pushes total/pool byte levels and the resource count into the registry
+  // gauges ("rm.bytes.*", "rm.resources").
+  void UpdateGaugesLocked();
 
   // Hot-path touch buffering. Lock order: mu_ before stripe mutex; the
   // record path takes only the stripe mutex.
@@ -170,6 +176,15 @@ class ResourceManager {
   std::atomic<uint64_t> clock_{1};
   bool shutting_down_ = false;
   std::thread sweeper_;
+
+  // Registry mirrors (resolved once; see DESIGN.md for the name scheme).
+  obs::Counter* m_evict_reactive_;
+  obs::Counter* m_evict_proactive_;
+  obs::Counter* m_evicted_bytes_;
+  obs::Histogram* m_sweep_duration_us_;
+  obs::Gauge* m_bytes_total_;
+  obs::Gauge* m_bytes_pool_[kNumPools];
+  obs::Gauge* m_resources_;
 };
 
 // RAII pin. Obtained via PinnedResource::TryPin; unpins on destruction.

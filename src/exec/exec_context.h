@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace payg {
 
@@ -44,6 +45,29 @@ struct QueryStats {
     s.partitions_visited = partitions_visited.load(std::memory_order_relaxed);
     return s;
   }
+
+  // Adds the snapshot to the process-wide "query.*" counters, so per-query
+  // accounting also shows up in the one registry dump. The registry
+  // pointers are resolved once per process (the registry never invalidates
+  // them, even across ResetAll).
+  static void FoldIntoRegistry(const Snapshot& s) {
+    auto& reg = obs::MetricsRegistry::Global();
+    static obs::Counter* pages_pinned = reg.counter("query.pages_pinned");
+    static obs::Counter* pages_read = reg.counter("query.pages_read");
+    static obs::Counter* bytes_read = reg.counter("query.bytes_read");
+    static obs::Counter* rows_scanned = reg.counter("query.rows_scanned");
+    static obs::Counter* index_lookups = reg.counter("query.index_lookups");
+    static obs::Counter* vector_scans = reg.counter("query.vector_scans");
+    static obs::Counter* partitions_visited =
+        reg.counter("query.partitions_visited");
+    pages_pinned->Add(s.pages_pinned);
+    pages_read->Add(s.pages_read);
+    bytes_read->Add(s.bytes_read);
+    rows_scanned->Add(s.rows_scanned);
+    index_lookups->Add(s.index_lookups);
+    vector_scans->Add(s.vector_scans);
+    partitions_visited->Add(s.partitions_visited);
+  }
 };
 
 // Carried through one query end to end: Table → Partition → FragmentReader →
@@ -56,6 +80,14 @@ struct QueryStats {
 // ExecContext* anywhere down the stack means "no accounting requested".
 struct ExecContext {
   using Clock = std::chrono::steady_clock;
+
+  ExecContext() = default;
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  // Query end: whatever this query (or query stream — benchmarks reuse one
+  // context) accounted folds into the registry exactly once.
+  ~ExecContext() { QueryStats::FoldIntoRegistry(stats.snapshot()); }
 
   QueryStats stats;
 

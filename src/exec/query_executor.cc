@@ -1,11 +1,14 @@
 #include "exec/query_executor.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace payg {
 
@@ -13,26 +16,45 @@ QueryExecutor::QueryExecutor(const ExecOptions& options) : options_(options) {
   if (options_.worker_threads > 0) {
     pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
   }
+  auto& reg = obs::MetricsRegistry::Global();
+  m_queries_ = reg.counter("exec.queries");
+  m_deadline_exceeded_ = reg.counter("exec.deadline_exceeded");
+  m_query_latency_us_ = reg.histogram("exec.query.latency_us");
+  m_queue_wait_us_ = reg.histogram("exec.queue_wait_us");
 }
 
 QueryExecutor::~QueryExecutor() = default;
 
 Status QueryExecutor::ForEach(ExecContext* ctx, size_t n,
                               const std::function<Status(size_t)>& task) {
+  obs::TraceSpan query_span("exec", "query", n);
+  Stopwatch timer;
+  m_queries_->Inc();
+
   auto run = [&](size_t i) -> Status {
+    obs::TraceSpan span("exec", "partition", i);
     if (ctx != nullptr) {
       PAYG_RETURN_IF_ERROR(ctx->CheckDeadline());
     }
     return task(i);
   };
 
+  // One exit point so latency and the deadline-exceeded count cover serial
+  // and parallel mode alike.
+  auto finish = [&](Status s) -> Status {
+    m_query_latency_us_->Record(static_cast<uint64_t>(timer.ElapsedMicros()));
+    if (s.IsDeadlineExceeded()) m_deadline_exceeded_->Inc();
+    return s;
+  };
+
   // A single partition gains nothing from the pool; running it inline also
   // keeps single-partition tables free of cross-thread handoffs.
   if (pool_ == nullptr || n <= 1) {
     for (size_t i = 0; i < n; ++i) {
-      PAYG_RETURN_IF_ERROR(run(i));
+      Status s = run(i);
+      if (!s.ok()) return finish(std::move(s));
     }
-    return Status::OK();
+    return finish(Status::OK());
   }
 
   std::vector<Status> statuses(n);
@@ -40,7 +62,12 @@ Status QueryExecutor::ForEach(ExecContext* ctx, size_t n,
   std::mutex mu;
   std::condition_variable cv;
   for (size_t i = 0; i < n; ++i) {
-    pool_->Submit([&, i] {
+    const auto submitted = std::chrono::steady_clock::now();
+    pool_->Submit([&, i, submitted] {
+      m_queue_wait_us_->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - submitted)
+              .count()));
       statuses[i] = run(i);
       if (remaining.fetch_sub(1) == 1) {
         std::lock_guard<std::mutex> lock(mu);
@@ -53,9 +80,9 @@ Status QueryExecutor::ForEach(ExecContext* ctx, size_t n,
     cv.wait(lock, [&] { return remaining.load() == 0; });
   }
   for (Status& s : statuses) {
-    PAYG_RETURN_IF_ERROR(std::move(s));
+    if (!s.ok()) return finish(std::move(s));
   }
-  return Status::OK();
+  return finish(Status::OK());
 }
 
 }  // namespace payg

@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "exec/exec_context.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace payg {
 
@@ -48,6 +49,13 @@ class QueryExecutor {
  private:
   ExecOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+
+  // Registry mirrors: every ForEach is one query's partition loop, so its
+  // wall clock is the engine-side query latency.
+  obs::Counter* m_queries_;
+  obs::Counter* m_deadline_exceeded_;
+  obs::Histogram* m_query_latency_us_;
+  obs::Histogram* m_queue_wait_us_;
 };
 
 }  // namespace payg

@@ -1,0 +1,130 @@
+#ifndef PAYG_OBS_METRICS_H_
+#define PAYG_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace payg::obs {
+
+// Monotonically increasing event count. All mutators use relaxed atomics:
+// metrics are statistics, never synchronization.
+class Counter {
+ public:
+  void Add(uint64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void Inc() { Add(1); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+// Point-in-time level (bytes resident, resources tracked, ...). Signed so
+// Add(-delta) works.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// Log2-bucketed histogram for latency-like values (typically microseconds).
+// Bucket i holds values whose bit width is i: bucket 0 is exactly {0},
+// bucket i (i >= 1) is [2^(i-1), 2^i - 1]. Recording is a single relaxed
+// fetch_add per bucket plus count/sum upkeep — safe and cheap on hot paths
+// from any number of threads. Quantiles are derived from a snapshot by
+// linear interpolation inside the containing bucket, so p50/p95/p99 carry
+// at most one-bucket (2x) resolution error, which is the right tool for
+// "did the read path get slower" questions.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 65;  // bit_width(uint64_t) in [0, 64]
+
+  void Record(uint64_t value) {
+    buckets_[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    std::array<uint64_t, kNumBuckets> buckets{};
+
+    // Value below which a fraction q of recordings fall (q in [0, 1]),
+    // interpolated within the containing bucket. 0 when empty.
+    double Quantile(double q) const;
+    double p50() const { return Quantile(0.50); }
+    double p95() const { return Quantile(0.95); }
+    double p99() const { return Quantile(0.99); }
+    double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+  };
+
+  Snapshot snapshot() const;
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// Process-wide registry of named metrics. Names are dotted paths
+// ("layer.event.unit", e.g. "storage.read.latency_us"); the set of names
+// used by the engine is documented in DESIGN.md. Lookup takes a mutex and
+// returns a stable pointer — hot paths resolve their metrics once (at
+// construction) and bump through the pointer. Entries are never removed;
+// Reset zeroes values but keeps registrations, so cached pointers stay
+// valid across ResetAll().
+class MetricsRegistry {
+ public:
+  // The process-wide instance (leaky singleton: safe to use from static
+  // destructors).
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. The same name always yields the same object; a name
+  // identifies one kind only (counter XOR gauge XOR histogram).
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  // Human-readable exposition, one metric per line, sorted by name.
+  std::string TextDump() const;
+  // Machine-readable exposition:
+  // {"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,
+  //  "sum":..,"mean":..,"p50":..,"p95":..,"p99":..,"buckets":[..]}}}
+  std::string JsonDump() const;
+
+  // Zeroes every registered metric (bench phase boundaries, tests).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace payg::obs
+
+#endif  // PAYG_OBS_METRICS_H_

@@ -1,0 +1,139 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace payg::obs {
+
+std::atomic<bool> Tracer::enabled_{false};
+
+namespace {
+
+// Small dense thread ids for trace output (std::thread::id is opaque and
+// unstable across runs).
+uint32_t CurrentTid() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static auto* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  if (capacity < 2) capacity = 2;
+  rings_.push_back(std::make_unique<Ring>(RoundUpPow2(capacity),
+                                          std::chrono::steady_clock::now()));
+  ring_.store(rings_.back().get(), std::memory_order_release);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::RecordSpan(const char* category, const char* name,
+                        std::chrono::steady_clock::time_point start,
+                        uint64_t arg) {
+  if (!enabled()) return;  // disabled between span start and end
+  Ring* r = ring_.load(std::memory_order_acquire);
+  if (r == nullptr) return;
+
+  TraceEvent ev;
+  ev.category = category;
+  ev.name = name;
+  const auto now = std::chrono::steady_clock::now();
+  // A span that started before Enable() clamps to the epoch.
+  const auto from = start < r->epoch ? r->epoch : start;
+  ev.start_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(from - r->epoch)
+          .count());
+  ev.dur_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - from)
+          .count());
+  ev.tid = CurrentTid();
+  ev.arg = arg;
+
+  const uint64_t ticket = r->head.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = r->slots[ticket & (r->capacity - 1)];
+  // The slot is free when it still carries the publication value of the
+  // previous lap (kEmpty on the first lap). Anything else means a writer or
+  // dumper holds it; drop rather than wait.
+  uint64_t expect = ticket >= r->capacity ? ticket - r->capacity + 2 : kEmpty;
+  if (!slot.seq.compare_exchange_strong(expect, kBusy,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+    r->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slot.ev = ev;
+  slot.seq.store(ticket + 2, std::memory_order_release);
+}
+
+std::vector<TraceEvent> Tracer::Collect() const {
+  std::vector<TraceEvent> events;
+  Ring* r = ring_.load(std::memory_order_acquire);
+  if (r == nullptr) return events;
+  events.reserve(std::min<uint64_t>(r->capacity,
+                                    r->head.load(std::memory_order_relaxed)));
+  for (size_t i = 0; i < r->capacity; ++i) {
+    Slot& slot = r->slots[i];
+    uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (seq < 2) continue;  // empty or mid-write
+    // Hold the slot while copying so a wrapping writer can't tear the
+    // payload under us; the writer drops its event instead (counted).
+    if (!slot.seq.compare_exchange_strong(seq, kBusy,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+      continue;
+    }
+    events.push_back(slot.ev);
+    slot.seq.store(seq, std::memory_order_release);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return events;
+}
+
+std::string Tracer::DumpChromeTrace() const {
+  std::vector<TraceEvent> events = Collect();
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    int n = std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"v\":%llu}}",
+        i == 0 ? "" : ",", e.name, e.category, e.start_ns / 1e3, e.dur_ns / 1e3,
+        e.tid, static_cast<unsigned long long>(e.arg));
+    if (n > 0) out.append(buf, static_cast<size_t>(n));
+  }
+  out += "]}";
+  return out;
+}
+
+uint64_t Tracer::dropped() const {
+  Ring* r = ring_.load(std::memory_order_acquire);
+  return r == nullptr ? 0 : r->dropped.load(std::memory_order_relaxed);
+}
+
+uint64_t Tracer::recorded() const {
+  Ring* r = ring_.load(std::memory_order_acquire);
+  return r == nullptr ? 0 : r->head.load(std::memory_order_relaxed);
+}
+
+}  // namespace payg::obs

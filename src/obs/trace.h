@@ -1,0 +1,130 @@
+#ifndef PAYG_OBS_TRACE_H_
+#define PAYG_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace payg::obs {
+
+// One completed span. `category`/`name` must be string literals (the ring
+// stores the pointers, not copies); `arg` carries one span-specific number
+// (partition index, logical page number, ...).
+struct TraceEvent {
+  const char* category = nullptr;
+  const char* name = nullptr;
+  uint64_t start_ns = 0;  // relative to the ring's epoch (Enable() time)
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;  // small per-thread id, stable for the process lifetime
+  uint64_t arg = 0;
+};
+
+// Fixed-size lock-free span ring shared by the whole process. Disabled by
+// default: the only cost a span pays then is one relaxed atomic load.
+// Enable(capacity) arms tracing with a fresh ring (new epoch, empty
+// buffer); Disable() stops recording but keeps the ring for dumping.
+//
+// Writers claim a ticket with one fetch_add and publish their slot through
+// a per-slot sequence word (CAS prev-lap value -> busy, write payload,
+// release-store the new value). When the ring wraps, the oldest events are
+// overwritten; if a slot is still held by a slow writer (or a concurrent
+// dump), the new event is dropped and counted instead of blocking — no
+// producer ever waits.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  // True while spans are being recorded. Single relaxed load — this is the
+  // entire disabled-path cost of a TraceSpan.
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Arms tracing with a fresh ring of `capacity` events (rounded up to a
+  // power of two). Previous rings stay alive (in-flight spans may still
+  // target them) but stop receiving events.
+  void Enable(size_t capacity = 1 << 16);
+  void Disable();
+
+  // Records a completed span that started at `start` (steady clock).
+  void RecordSpan(const char* category, const char* name,
+                  std::chrono::steady_clock::time_point start, uint64_t arg);
+
+  // Events currently in the ring, in start-time order. Safe to call while
+  // tracing is live; slots being written concurrently are skipped.
+  std::vector<TraceEvent> Collect() const;
+
+  // Chrome trace-event JSON ("X" complete events, ts/dur in microseconds).
+  // Load in Perfetto / chrome://tracing.
+  std::string DumpChromeTrace() const;
+
+  // Events rejected because their slot was busy (slow writer on the
+  // previous lap or a concurrent dump). 0 in any non-pathological run.
+  uint64_t dropped() const;
+  // Tickets handed out since Enable (= recorded + dropped).
+  uint64_t recorded() const;
+
+ private:
+  struct Slot {
+    // kEmpty, kBusy, or ticket + 2 of the event the slot holds.
+    std::atomic<uint64_t> seq{0};
+    TraceEvent ev;
+  };
+  struct Ring {
+    Ring(size_t cap, std::chrono::steady_clock::time_point ep)
+        : capacity(cap), epoch(ep), slots(new Slot[cap]) {}
+    const size_t capacity;
+    const std::chrono::steady_clock::time_point epoch;
+    std::unique_ptr<Slot[]> slots;
+    std::atomic<uint64_t> head{0};
+    std::atomic<uint64_t> dropped{0};
+  };
+  static constexpr uint64_t kEmpty = 0;
+  static constexpr uint64_t kBusy = 1;
+
+  Tracer() = default;
+
+  static std::atomic<bool> enabled_;
+
+  std::atomic<Ring*> ring_{nullptr};
+  // Rings are retired, never freed, so a span that straddled a re-Enable
+  // still writes into valid memory. Bounded by the number of Enable calls.
+  std::mutex control_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+// RAII span: measures construction-to-destruction and records it into the
+// global tracer. When tracing is disabled the constructor is one relaxed
+// atomic load and the destructor one predictable branch.
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, const char* name, uint64_t arg = 0)
+      : category_(category), name_(name), arg_(arg),
+        armed_(Tracer::enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (armed_) {
+      Tracer::Global().RecordSpan(category_, name_, start_, arg_);
+    }
+  }
+
+ private:
+  const char* category_;
+  const char* name_;
+  uint64_t arg_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace payg::obs
+
+#endif  // PAYG_OBS_TRACE_H_

@@ -15,11 +15,15 @@ Result<PageRef> PageCache::GetPage(LogicalPageNo lpn, ExecContext* ctx) {
       PinnedResource pin = PinnedResource::TryPin(rm_, it->second.rid);
       if (pin.valid()) {
         CountPagePinned(ctx);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        m_hits_->Inc();
         return PageRef(it->second.page, std::move(pin), lpn);
       }
       // The resource manager chose this page as a victim and its callback
       // has not reached us yet; treat as a miss (the callback erases only
       // its own generation, so reloading below is safe).
+      pin_waits_.fetch_add(1, std::memory_order_relaxed);
+      m_pin_waits_->Inc();
       slots_.erase(it);
     }
   }
@@ -29,6 +33,8 @@ Result<PageRef> PageCache::GetPage(LogicalPageNo lpn, ExecContext* ctx) {
   auto page = std::make_shared<Page>(file_->page_size());
   PAYG_RETURN_IF_ERROR(file_->ReadPage(lpn, page.get(), ctx));
   loads_.fetch_add(1, std::memory_order_relaxed);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  m_misses_->Inc();
   CountPagePinned(ctx);
 
   const uint64_t gen = next_generation_.fetch_add(1);
@@ -43,9 +49,12 @@ Result<PageRef> PageCache::GetPage(LogicalPageNo lpn, ExecContext* ctx) {
     auto it = slots_.find(lpn);
     if (it != slots_.end()) {
       // Another thread loaded the same page concurrently; keep theirs and
-      // drop ours.
+      // drop ours. Still a miss (we paid a physical read), but also a
+      // pin-wait: the call contended with another loader.
       PinnedResource theirs = PinnedResource::TryPin(rm_, it->second.rid);
       if (theirs.valid()) {
+        pin_waits_.fetch_add(1, std::memory_order_relaxed);
+        m_pin_waits_->Inc();
         pin.Release();
         rm_->Unregister(rid);
         return PageRef(it->second.page, std::move(theirs), lpn);

@@ -9,6 +9,7 @@
 
 #include "buffer/resource_manager.h"
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "storage/page_file.h"
 
 namespace payg {
@@ -49,7 +50,12 @@ class PageCache {
  public:
   PageCache(PageFile* file, ResourceManager* rm, PoolId pool,
             std::string label)
-      : file_(file), rm_(rm), pool_(pool), label_(std::move(label)) {}
+      : file_(file), rm_(rm), pool_(pool), label_(std::move(label)) {
+    auto& reg = obs::MetricsRegistry::Global();
+    m_hits_ = reg.counter("cache.hits");
+    m_misses_ = reg.counter("cache.misses");
+    m_pin_waits_ = reg.counter("cache.pin_waits");
+  }
 
   ~PageCache() { DropAll(); }
 
@@ -70,6 +76,24 @@ class PageCache {
 
   uint64_t loaded_page_count() const;
   uint64_t load_count() const { return loads_; }
+
+  // Hit/miss accounting: every GetPage call is exactly one of the two. A
+  // hit is served from a resident slot (successful pin, no IO); a miss went
+  // through a physical load — including the rare case where a concurrent
+  // loader won the race and our freshly read page was thrown away.
+  // pin_wait_count tallies the contention events inside those calls: a
+  // resident slot whose pin raced with eviction, or a duplicate concurrent
+  // load. The same three counters aggregate process-wide in the registry as
+  // "cache.hits" / "cache.misses" / "cache.pin_waits".
+  uint64_t hit_count() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t miss_count() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  uint64_t pin_wait_count() const {
+    return pin_waits_.load(std::memory_order_relaxed);
+  }
 
   PageFile* file() const { return file_; }
   ResourceManager* resource_manager() const { return rm_; }
@@ -93,6 +117,12 @@ class PageCache {
   std::unordered_map<LogicalPageNo, Slot> slots_;
   std::atomic<uint64_t> loads_{0};
   std::atomic<uint64_t> next_generation_{1};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> pin_waits_{0};
+  obs::Counter* m_hits_;
+  obs::Counter* m_misses_;
+  obs::Counter* m_pin_waits_;
 };
 
 }  // namespace payg

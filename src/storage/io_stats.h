@@ -7,7 +7,11 @@
 namespace payg {
 
 // Counters for physical page traffic. Shared by all page files of one
-// StorageManager; benchmarks read these to report load behaviour.
+// StorageManager; benchmarks read these to report load behaviour. The same
+// traffic is also mirrored into the process-wide MetricsRegistry (names
+// "storage.read.*" / "storage.write.*") by PageFile, together with the
+// read/write latency histograms this struct has no room for — this struct
+// stays as the per-store view.
 struct IoStats {
   std::atomic<uint64_t> pages_read{0};
   std::atomic<uint64_t> pages_written{0};
@@ -15,10 +19,12 @@ struct IoStats {
   std::atomic<uint64_t> bytes_written{0};
 
   void Reset() {
-    pages_read = 0;
-    pages_written = 0;
-    bytes_read = 0;
-    bytes_written = 0;
+    // Relaxed on purpose: these are statistics, and the seq-cst stores of
+    // atomic operator= would fence every reset for no benefit.
+    pages_read.store(0, std::memory_order_relaxed);
+    pages_written.store(0, std::memory_order_relaxed);
+    bytes_read.store(0, std::memory_order_relaxed);
+    bytes_written.store(0, std::memory_order_relaxed);
   }
 };
 

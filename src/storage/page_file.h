@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
 #include "storage/storage_options.h"
@@ -75,6 +76,16 @@ class PageFile {
   std::atomic<uint64_t> page_count_;
   StorageOptions opts_;
   IoStats* stats_;  // not owned; may be null
+
+  // Process-wide mirrors of the IoStats bumps plus the physical-IO latency
+  // histograms ("storage.read.latency_us" / "storage.write.latency_us").
+  // Resolved once here so the read path pays no registry lookup.
+  obs::Counter* m_pages_read_;
+  obs::Counter* m_bytes_read_;
+  obs::Counter* m_pages_written_;
+  obs::Counter* m_bytes_written_;
+  obs::Histogram* m_read_latency_us_;
+  obs::Histogram* m_write_latency_us_;
 };
 
 }  // namespace payg

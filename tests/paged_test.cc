@@ -115,6 +115,48 @@ TEST_F(PagedTest, DataVectorLoadsOnlyNeededPages) {
   EXPECT_EQ((*dv)->cache()->load_count(), 2u);
 }
 
+TEST_F(PagedTest, PageCacheHitRatioHotVsCold) {
+  auto vids = RandomVids(100000, 1000, 50);
+  auto dv = PagedDataVector::Build(storage_.get(), rm_.get(),
+                                   PoolId::kPagedPool, "dv_hit", vids);
+  ASSERT_TRUE(dv.ok());
+  PageCache* cache = (*dv)->cache();
+  const uint64_t hits0 = cache->hit_count();
+  const uint64_t misses0 = cache->miss_count();
+
+  const RowPos near = 10;
+  const RowPos far = static_cast<RowPos>(vids.size() - 1);
+  {
+    PagedDataVectorIterator it(dv->get());
+    // The iterator holds one pinned page, so alternating between two
+    // far-apart rows forces one GetPage per switch. Cold pass: both pages
+    // miss. Hot passes: both pages are resident, every switch hits.
+    for (int round = 0; round < 5; ++round) {
+      ASSERT_TRUE(it.Get(near).ok());
+      ASSERT_TRUE(it.Get(far).ok());
+    }
+  }
+  EXPECT_EQ(cache->miss_count() - misses0, 2u);
+  EXPECT_EQ(cache->hit_count() - hits0, 8u);
+  double hot_ratio =
+      static_cast<double>(cache->hit_count() - hits0) /
+      static_cast<double>((cache->hit_count() - hits0) +
+                          (cache->miss_count() - misses0));
+  EXPECT_DOUBLE_EQ(hot_ratio, 0.8);
+
+  // Cold again: shrink the paged pool to nothing and sweep (the iterator and
+  // its pin are gone), then re-read — the page must be loaded anew.
+  rm_->SetPoolLimits(PoolId::kPagedPool, {/*lower=*/0, /*upper=*/1});
+  rm_->SweepNow();
+  EXPECT_EQ(cache->loaded_page_count(), 0u);
+  {
+    PagedDataVectorIterator it(dv->get());
+    ASSERT_TRUE(it.Get(near).ok());
+  }
+  EXPECT_EQ(cache->miss_count() - misses0, 3u);
+  EXPECT_EQ(cache->hit_count() - hits0, 8u);
+}
+
 TEST_F(PagedTest, DataVectorSearchMatchesScalar) {
   auto vids = RandomVids(30000, 50, 6);
   auto dv = PagedDataVector::Build(storage_.get(), rm_.get(),
