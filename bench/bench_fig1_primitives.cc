@@ -1,17 +1,22 @@
 // Fig. 1: average time (ns) per symbol for the mget and search primitives
 // over n-bit packed data vectors, for every bit case n = 1..32 (§3.1.3).
 //
-// The paper measures SIMD kernels on a Xeon E5-2697 v3; here the portable
-// word-parallel kernels are measured. The expected shape — cost growing with
-// the bit width, search at least as expensive as mget — is what this bench
-// verifies.
+// The paper measures SIMD kernels on a Xeon E5-2697 v3; here every kernel
+// tier the build and CPU provide (scalar / sse42 / avx2) is measured side by
+// side, so the scalar-vs-SIMD speedup per bit width is part of the recorded
+// trajectory (scripts/bench_snapshot.sh → BENCH_fig1.json). Benchmark names
+// are <kernel>/<tier>/<bits>; the dispatch-selected tier for normal callers
+// is recorded in the context as "simd_level".
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "encoding/bit_packing.h"
+#include "encoding/simd_dispatch.h"
 
 namespace payg {
 namespace {
@@ -33,21 +38,24 @@ PackedVector MakeVector(uint32_t bits) {
   return pv;
 }
 
-void BM_MGet(benchmark::State& state) {
-  const uint32_t bits = static_cast<uint32_t>(state.range(0));
-  PackedVector pv = MakeVector(bits);
-  std::vector<uint32_t> out(kSymbols);
-  for (auto _ : state) {
-    pv.MGet(0, kSymbols, out.data());
-    benchmark::DoNotOptimize(out.data());
-  }
+void SetRate(benchmark::State& state) {
   state.counters["ns_per_symbol"] = benchmark::Counter(
       static_cast<double>(state.iterations()) * static_cast<double>(kSymbols),
       benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
 }
 
-void BM_Search(benchmark::State& state) {
-  const uint32_t bits = static_cast<uint32_t>(state.range(0));
+void BM_MGet(benchmark::State& state, const PackedKernels* k, uint32_t bits) {
+  PackedVector pv = MakeVector(bits);
+  std::vector<uint32_t> out(kSymbols);
+  for (auto _ : state) {
+    k->mget[bits](pv.words(), 0, kSymbols, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetRate(state);
+}
+
+void BM_SearchEq(benchmark::State& state, const PackedKernels* k,
+                 uint32_t bits) {
   PackedVector pv = MakeVector(bits);
   // Probe for a rare value so the output stays small and the measurement is
   // dominated by the scan, as in the paper's micro benchmark.
@@ -55,38 +63,80 @@ void BM_Search(benchmark::State& state) {
   std::vector<RowPos> out;
   for (auto _ : state) {
     out.clear();
-    PackedSearchEq(pv.words(), bits, 0, kSymbols, probe, 0, &out);
+    k->search_eq[bits](pv.words(), 0, kSymbols, probe, 0, &out);
     benchmark::DoNotOptimize(out.data());
   }
-  state.counters["ns_per_symbol"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * static_cast<double>(kSymbols),
-      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  SetRate(state);
 }
 
-void BM_SearchRange(benchmark::State& state) {
-  const uint32_t bits = static_cast<uint32_t>(state.range(0));
+void BM_SearchRange(benchmark::State& state, const PackedKernels* k,
+                    uint32_t bits) {
   PackedVector pv = MakeVector(bits);
   const uint64_t hi = LowMask(bits);
   std::vector<RowPos> out;
   for (auto _ : state) {
     out.clear();
-    PackedSearchRange(pv.words(), bits, 0, kSymbols, hi, hi, 0, &out);
+    k->search_range[bits](pv.words(), 0, kSymbols, hi, hi, 0, &out);
     benchmark::DoNotOptimize(out.data());
   }
-  state.counters["ns_per_symbol"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * static_cast<double>(kSymbols),
-      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  SetRate(state);
 }
 
-void BitCases(benchmark::internal::Benchmark* b) {
-  for (int n = 1; n <= 32; ++n) b->Arg(n);
+void BM_SearchIn(benchmark::State& state, const PackedKernels* k,
+                 uint32_t bits) {
+  PackedVector pv = MakeVector(bits);
+  // A small set around the (absent) all-ones probe: the band prefilter
+  // passes occasionally, the set membership rarely.
+  const uint64_t mask = LowMask(bits);
+  std::vector<ValueId> vids;
+  for (uint64_t v = mask; v != 0 && vids.size() < 4; v -= (mask / 7) + 1) {
+    vids.push_back(static_cast<ValueId>(v));
+  }
+  std::sort(vids.begin(), vids.end());
+  vids.erase(std::unique(vids.begin(), vids.end()), vids.end());
+  std::vector<RowPos> out;
+  for (auto _ : state) {
+    out.clear();
+    k->search_in[bits](pv.words(), 0, kSymbols, vids, 0, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetRate(state);
 }
 
-BENCHMARK(BM_MGet)->Apply(BitCases)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Search)->Apply(BitCases)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_SearchRange)->Apply(BitCases)->Unit(benchmark::kMillisecond);
+void RegisterAll() {
+  for (SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kSse42, SimdLevel::kAvx2}) {
+    const PackedKernels* k = KernelsFor(level);
+    if (k == nullptr) continue;
+    const std::string tier = SimdLevelName(level);
+    for (uint32_t bits = 1; bits <= 32; ++bits) {
+      const std::string suffix = tier + "/" + std::to_string(bits);
+      benchmark::RegisterBenchmark(("mget/" + suffix).c_str(), BM_MGet, k,
+                                   bits)
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark(("search_eq/" + suffix).c_str(),
+                                   BM_SearchEq, k, bits)
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark(("search_range/" + suffix).c_str(),
+                                   BM_SearchRange, k, bits)
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark(("search_in/" + suffix).c_str(),
+                                   BM_SearchIn, k, bits)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace payg
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  payg::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext(
+      "simd_level", payg::SimdLevelName(payg::ActiveSimdLevel()));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,13 +5,163 @@
 // The query exercises only the paged data vector code path: the pk (not
 // paged in T_p) is probed through its index, then one vid of the numeric
 // column is decoded; the numeric dictionary is memory resident.
+//
+// Cold-scan section: a full-column mget over a cold paged data vector with
+// iterator readahead off vs. on, at a simulated page latency high enough
+// that the PageFile sleeps (≥1 ms) and the prefetch pool can overlap I/O
+// with decode. scripts/bench_snapshot.sh records this as BENCH_fig4.json;
+// PAYG_SCAN_ONLY=1 skips the (slower) Q_pk^num figure run.
+
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "buffer/resource_manager.h"
+#include "common/random.h"
+#include "exec/exec_context.h"
+#include "paged/page_cache.h"
+#include "paged/paged_data_vector.h"
+
+namespace payg::bench {
+namespace {
+
+struct ScanStats {
+  std::vector<double> ms;
+  double mean_ms = 0;
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_wasted = 0;
+};
+
+ScanStats ColdScan(PagedDataVector* dv, uint32_t readahead, int reps) {
+  ScanStats st;
+  const RowPos rows = static_cast<RowPos>(dv->row_count());
+  for (int r = 0; r < reps; ++r) {
+    dv->Unload();  // cold: every data page pays the simulated read latency
+    ExecContext ctx;
+    PagedDataVectorIterator it(dv, &ctx);
+    it.set_readahead(readahead);
+    std::vector<ValueId> out;
+    out.reserve(rows);
+    Stopwatch timer;
+    Status s = it.MGet(0, rows, &out);
+    if (!s.ok() || out.size() != rows) {
+      std::fprintf(stderr, "cold scan failed: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+    st.ms.push_back(timer.ElapsedMillis());
+  }
+  dv->cache()->WaitForPrefetchIdle();
+  st.mean_ms = Summarize(st.ms).mean;
+  st.prefetch_issued = dv->cache()->prefetch_issued_count();
+  st.prefetch_hits = dv->cache()->prefetch_hit_count();
+  st.prefetch_wasted = dv->cache()->prefetch_wasted_count();
+  return st;
+}
+
+void AppendJsonRuns(std::string* out, const ScanStats& st) {
+  char buf[64];
+  out->append("[");
+  for (size_t i = 0; i < st.ms.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%.3f", i == 0 ? "" : ", ", st.ms[i]);
+    out->append(buf);
+  }
+  out->append("]");
+}
+
+void RunColdScanComparison(const BenchEnv& env) {
+  // Run this section at a latency where PageFile sleeps instead of spinning
+  // (1 ms threshold) so prefetch reads genuinely overlap with decode even on
+  // small machines; overridable for experiments on faster "devices".
+  const uint32_t latency_us =
+      static_cast<uint32_t>(EnvU64("PAYG_SCAN_LATENCY_US", 1000));
+  const int reps = static_cast<int>(EnvU64("PAYG_SCAN_REPS", 5));
+  const uint32_t window = DefaultReadaheadWindow();
+
+  StorageOptions opts;
+  opts.page_size = static_cast<uint32_t>(EnvU64("PAYG_PAGE_SIZE", 8 * 1024));
+  opts.simulated_read_latency_us = latency_us;
+  const std::string dir = env.dir + "_scan";
+  std::filesystem::remove_all(dir);
+  auto storage = StorageManager::Open(dir, opts);
+  BENCH_CHECK_OK(storage);
+  ResourceManager rm;
+
+  Random rng(404);
+  std::vector<ValueId> vids(env.rows);
+  for (uint64_t i = 0; i < env.rows; ++i) {
+    vids[i] = static_cast<ValueId>(rng.Uniform(1000));  // 10-bit column
+  }
+  auto dv = PagedDataVector::Build(storage->get(), &rm, PoolId::kPagedPool,
+                                   "scan_col", vids);
+  BENCH_CHECK_OK(dv);
+
+  std::printf("# fig4 cold scan — rows=%llu pages=%llu latency_us=%u "
+              "readahead_window=%u reps=%d\n",
+              static_cast<unsigned long long>(env.rows),
+              static_cast<unsigned long long>((*dv)->data_page_count()),
+              latency_us, window, reps);
+  ScanStats off = ColdScan(dv->get(), 0, reps);
+  ScanStats on = ColdScan(dv->get(), window, reps);
+  const double speedup = on.mean_ms > 0 ? off.mean_ms / on.mean_ms : 0;
+  std::printf("fig4_scan: readahead_off mean_ms=%.2f\n", off.mean_ms);
+  std::printf("fig4_scan: readahead_on  mean_ms=%.2f prefetch_issued=%llu "
+              "hits=%llu wasted=%llu\n",
+              on.mean_ms, static_cast<unsigned long long>(on.prefetch_issued),
+              static_cast<unsigned long long>(on.prefetch_hits),
+              static_cast<unsigned long long>(on.prefetch_wasted));
+  std::printf("fig4_scan: cold_scan_speedup=%.2fx\n", speedup);
+
+  // Machine-readable snapshot for the committed BENCH_fig4.json.
+  if (const char* path = std::getenv("PAYG_BENCH_JSON")) {
+    std::string json = "{\n  \"bench\": \"fig4_cold_scan\",\n";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"rows\": %llu,\n  \"data_pages\": %llu,\n"
+                  "  \"page_size\": %u,\n  \"latency_us\": %u,\n"
+                  "  \"readahead_window\": %u,\n",
+                  static_cast<unsigned long long>(env.rows),
+                  static_cast<unsigned long long>((*dv)->data_page_count()),
+                  opts.page_size, latency_us, window);
+    json += buf;
+    json += "  \"readahead_off_ms\": ";
+    AppendJsonRuns(&json, off);
+    json += ",\n  \"readahead_on_ms\": ";
+    AppendJsonRuns(&json, on);
+    std::snprintf(buf, sizeof(buf),
+                  ",\n  \"mean_off_ms\": %.3f,\n  \"mean_on_ms\": %.3f,\n"
+                  "  \"speedup\": %.3f,\n"
+                  "  \"prefetch_issued\": %llu,\n  \"prefetch_hits\": %llu,\n"
+                  "  \"prefetch_wasted\": %llu\n}\n",
+                  off.mean_ms, on.mean_ms, speedup,
+                  static_cast<unsigned long long>(on.prefetch_issued),
+                  static_cast<unsigned long long>(on.prefetch_hits),
+                  static_cast<unsigned long long>(on.prefetch_wasted));
+    json += buf;
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      std::abort();
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("fig4_scan: wrote %s\n", path);
+  }
+
+  dv->reset();
+  storage->reset();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace payg::bench
 
 int main() {
   using namespace payg;
   using namespace payg::bench;
   BenchEnv env = ReadEnv("fig4");
+  RunColdScanComparison(env);
+  if (EnvU64("PAYG_SCAN_ONLY", 0) != 0) return 0;
   std::printf("# Fig 4 — Q_pk^num on T_b vs T_p: rows=%llu queries=%llu "
               "latency_us=%u\n",
               static_cast<unsigned long long>(env.rows),

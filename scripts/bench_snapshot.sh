@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Records the committed benchmark snapshots:
+#   BENCH_fig1.json — packed-kernel primitives, scalar vs SIMD tiers
+#                     (google-benchmark JSON; names are <kernel>/<tier>/<bits>)
+#   BENCH_fig4.json — cold full-column scan, readahead off vs on at 1 ms
+#                     simulated page latency
+# Usage: scripts/bench_snapshot.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+cmake --build "$BUILD" -j --target bench_fig1_primitives bench_fig4_data_vector
+
+# fig1: the acceptance-relevant kernels (mget + search_eq) on every available
+# tier at every bit width. Widen or drop the filter for full sweeps
+# (search_range / search_in are registered too).
+FILTER="${PAYG_FIG1_FILTER:-^(mget|search_eq)/}"
+"$BUILD"/bench/bench_fig1_primitives \
+  --benchmark_filter="$FILTER" \
+  --benchmark_min_time="${PAYG_FIG1_MIN_TIME:-0.2}" \
+  --benchmark_out=BENCH_fig1.json --benchmark_out_format=json
+
+PAYG_SCAN_ONLY=1 PAYG_BENCH_JSON=BENCH_fig4.json \
+  "$BUILD"/bench/bench_fig4_data_vector
+
+echo "bench_snapshot.sh: wrote BENCH_fig1.json BENCH_fig4.json"

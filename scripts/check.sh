@@ -2,7 +2,8 @@
 # Full verification: regular build + complete test suite, then a
 # ThreadSanitizer build running the concurrency-sensitive suites (the
 # resource manager's striped touch buffers, the partition-parallel
-# executor, and the lock-free metrics/trace ring).
+# executor, the lock-free metrics/trace ring, and the page cache's
+# asynchronous prefetch pool).
 # Usage: scripts/check.sh [build-dir-prefix]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,11 +15,12 @@ cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 
-echo "== TSan build: buffer + exec + obs suites =="
+echo "== TSan build: buffer + exec + obs + paged suites =="
 cmake -B "$BUILD-tsan" -S . -DPAYG_SANITIZE=thread >/dev/null
-cmake --build "$BUILD-tsan" -j --target buffer_test exec_test obs_test
+cmake --build "$BUILD-tsan" -j --target buffer_test exec_test obs_test paged_test
 "$BUILD-tsan"/tests/buffer_test
 "$BUILD-tsan"/tests/exec_test
 "$BUILD-tsan"/tests/obs_test
+"$BUILD-tsan"/tests/paged_test
 
 echo "check.sh: all green"

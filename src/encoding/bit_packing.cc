@@ -2,15 +2,39 @@
 
 #include <algorithm>
 
+#include "encoding/packed_scan_internal.h"
+#include "encoding/simd_dispatch.h"
+
 namespace payg {
+
+namespace detail {
+
+void AppendRows(std::vector<RowPos>* out, const RowPos* rows, size_t n) {
+  out->insert(out->end(), rows, rows + n);
+}
+
+}  // namespace detail
 
 namespace {
 
 // Shared sliding-window decode skeleton. Keeps the 8-byte window read and
 // incrementing bit cursor in one tight loop; `emit` is inlined per caller.
+// Widths above 25 use the two-word aligned read for the same defensive
+// reason as PackedGet (the window margin is thinnest there).
 template <typename Emit>
 inline void DecodeLoop(const uint64_t* words, uint32_t bits, uint64_t from,
                        uint64_t to, Emit emit) {
+  if (bits > 25) {
+    for (uint64_t i = from; i < to; ++i) {
+      const uint64_t bitpos = i * bits;
+      const uint64_t w = bitpos >> 6;
+      const uint32_t shift = static_cast<uint32_t>(bitpos & 63);
+      uint64_t v = words[w] >> shift;
+      if (shift + bits > 64) v |= words[w + 1] << (64 - shift);
+      emit(i, v & LowMask(bits));
+    }
+    return;
+  }
   const uint8_t* bytes = reinterpret_cast<const uint8_t*>(words);
   const uint64_t mask = LowMask(bits);
   uint64_t bitpos = from * bits;
@@ -21,11 +45,29 @@ inline void DecodeLoop(const uint64_t* words, uint32_t bits, uint64_t from,
   }
 }
 
+// The one scan skeleton all three scalar search kernels are generated from
+// (the SIMD tiers mirror it — see ScanAvx2 / ScanSse42): decode, apply the
+// predicate, report base-relative positions.
+template <typename Pred>
+inline void ScalarScan(const uint64_t* words, uint32_t bits, uint64_t from,
+                       uint64_t to, RowPos base, std::vector<RowPos>* out,
+                       const Pred& pred) {
+  DecodeLoop(words, bits, from, to, [&](uint64_t i, uint64_t v) {
+    if (pred(v)) out->push_back(base + static_cast<RowPos>(i - from));
+  });
+}
+
 }  // namespace
 
-void PackedMGet(const uint64_t* words, uint32_t bits, uint64_t from,
-                uint64_t to, uint32_t* out) {
+void PackedMGetScalar(const uint64_t* words, uint32_t bits, uint64_t from,
+                      uint64_t to, uint32_t* out) {
   uint32_t* dst = out;
+  if (bits > 25) {
+    DecodeLoop(words, bits, from, to, [&](uint64_t, uint64_t v) {
+      *dst++ = static_cast<uint32_t>(v);
+    });
+    return;
+  }
   // Unrolled by four: each iteration is independent, which lets the compiler
   // keep multiple window loads in flight (the scalar analogue of the SIMD
   // decode in §3.1.3).
@@ -54,36 +96,63 @@ void PackedMGet(const uint64_t* words, uint32_t bits, uint64_t from,
   }
 }
 
+void PackedSearchEqScalar(const uint64_t* words, uint32_t bits, uint64_t from,
+                          uint64_t to, uint64_t vid, RowPos base,
+                          std::vector<RowPos>* out) {
+  ScalarScan(words, bits, from, to, base, out, detail::EqPred{vid});
+}
+
+void PackedSearchRangeScalar(const uint64_t* words, uint32_t bits,
+                             uint64_t from, uint64_t to, uint64_t lo,
+                             uint64_t hi, RowPos base,
+                             std::vector<RowPos>* out) {
+  ScalarScan(words, bits, from, to, base, out, detail::RangePred{lo, hi - lo});
+}
+
+void PackedSearchInScalar(const uint64_t* words, uint32_t bits, uint64_t from,
+                          uint64_t to, const std::vector<ValueId>& sorted_vids,
+                          RowPos base, std::vector<RowPos>* out) {
+  ScalarScan(words, bits, from, to, base, out,
+             detail::InPred{sorted_vids.data(), sorted_vids.size(),
+                            sorted_vids.front(),
+                            static_cast<uint64_t>(sorted_vids.back()) -
+                                sorted_vids.front()});
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points: normalize the predicate, then dispatch to the active
+// tier's per-width kernel.
+// ---------------------------------------------------------------------------
+
+void PackedMGet(const uint64_t* words, uint32_t bits, uint64_t from,
+                uint64_t to, uint32_t* out) {
+  PAYG_ASSERT(bits >= 1 && bits <= 32);
+  ActiveKernels().mget[bits](words, from, to, out);
+}
+
 void PackedSearchEq(const uint64_t* words, uint32_t bits, uint64_t from,
                     uint64_t to, uint64_t vid, RowPos base,
                     std::vector<RowPos>* out) {
-  DecodeLoop(words, bits, from, to, [&](uint64_t i, uint64_t v) {
-    if (v == vid) out->push_back(base + static_cast<RowPos>(i - from));
-  });
+  PAYG_ASSERT(bits >= 1 && bits <= 32);
+  if (vid > LowMask(bits)) return;  // cannot occur in a `bits`-wide buffer
+  ActiveKernels().search_eq[bits](words, from, to, vid, base, out);
 }
 
 void PackedSearchRange(const uint64_t* words, uint32_t bits, uint64_t from,
                        uint64_t to, uint64_t lo, uint64_t hi, RowPos base,
                        std::vector<RowPos>* out) {
-  DecodeLoop(words, bits, from, to, [&](uint64_t i, uint64_t v) {
-    // Single-branch band check: (v - lo) <= (hi - lo) in unsigned arithmetic.
-    if (v - lo <= hi - lo) out->push_back(base + static_cast<RowPos>(i - from));
-  });
+  PAYG_ASSERT(bits >= 1 && bits <= 32);
+  if (lo > hi || lo > LowMask(bits)) return;
+  hi = std::min(hi, LowMask(bits));  // keep hi - lo within 32 bits for SIMD
+  ActiveKernels().search_range[bits](words, from, to, lo, hi, base, out);
 }
 
 void PackedSearchIn(const uint64_t* words, uint32_t bits, uint64_t from,
                     uint64_t to, const std::vector<ValueId>& sorted_vids,
                     RowPos base, std::vector<RowPos>* out) {
+  PAYG_ASSERT(bits >= 1 && bits <= 32);
   if (sorted_vids.empty()) return;
-  const ValueId lo = sorted_vids.front();
-  const ValueId hi = sorted_vids.back();
-  DecodeLoop(words, bits, from, to, [&](uint64_t i, uint64_t v) {
-    if (v - lo > static_cast<uint64_t>(hi) - lo) return;  // fast band reject
-    if (std::binary_search(sorted_vids.begin(), sorted_vids.end(),
-                           static_cast<ValueId>(v))) {
-      out->push_back(base + static_cast<RowPos>(i - from));
-    }
-  });
+  ActiveKernels().search_in[bits](words, from, to, sorted_vids, base, out);
 }
 
 PackedVector PackedVector::FromWords(uint32_t bits, uint64_t size,

@@ -23,8 +23,25 @@ namespace payg {
 // ---------------------------------------------------------------------------
 
 // Reads value `idx` from a packed buffer. bits must be in [1, 32].
+//
+// The unaligned 8-byte window starts at the value's first byte, so the value
+// occupies bits [bitpos & 7, (bitpos & 7) + bits) of the window — at most
+// bit 7 + 32 = 39 < 64, i.e. the window always covers it. Widths in [26, 32]
+// nevertheless take a defensive two-word aligned read: their window margin is
+// the thinnest (a hypothetical 33-bit-wide value at shift 7 would straddle 9
+// bytes and be truncated), and the aligned form keeps the read from
+// depending on that margin at all.
 inline uint64_t PackedGet(const uint64_t* words, uint32_t bits, uint64_t idx) {
   const uint64_t bitpos = idx * bits;
+  if (bits > 25) {
+    const uint64_t w = bitpos >> 6;
+    const uint32_t shift = static_cast<uint32_t>(bitpos & 63);
+    uint64_t v = words[w] >> shift;
+    if (shift + bits > 64) {
+      v |= words[w + 1] << (64 - shift);
+    }
+    return v & LowMask(bits);
+  }
   const uint8_t* bytes = reinterpret_cast<const uint8_t*>(words);
   uint64_t window;
   std::memcpy(&window, bytes + (bitpos >> 3), sizeof(window));
@@ -47,7 +64,8 @@ inline void PackedSet(uint64_t* words, uint32_t bits, uint64_t idx,
 }
 
 // Decodes values [from, to) into out[0..to-from). The hot "mget" primitive
-// (Fig 1): a branch-free sliding-window loop the compiler can vectorize.
+// (Fig 1). Dispatches to the best SIMD tier the CPU supports (see
+// simd_dispatch.h); `PAYG_FORCE_SCALAR=1` pins the portable kernels.
 void PackedMGet(const uint64_t* words, uint32_t bits, uint64_t from,
                 uint64_t to, uint32_t* out);
 
@@ -58,7 +76,8 @@ void PackedSearchEq(const uint64_t* words, uint32_t bits, uint64_t from,
                     uint64_t to, uint64_t vid, RowPos base,
                     std::vector<RowPos>* out);
 
-// Range predicate variant: lo <= value <= hi.
+// Range predicate variant: lo <= value <= hi. Empty ranges (lo > hi) match
+// nothing.
 void PackedSearchRange(const uint64_t* words, uint32_t bits, uint64_t from,
                        uint64_t to, uint64_t lo, uint64_t hi, RowPos base,
                        std::vector<RowPos>* out);
@@ -67,6 +86,24 @@ void PackedSearchRange(const uint64_t* words, uint32_t bits, uint64_t from,
 void PackedSearchIn(const uint64_t* words, uint32_t bits, uint64_t from,
                     uint64_t to, const std::vector<ValueId>& sorted_vids,
                     RowPos base, std::vector<RowPos>* out);
+
+// Portable scalar kernels behind the entry points above — the reference
+// implementations every SIMD tier is property-tested against, and the
+// dispatch fallback on CPUs without SSE4.2/AVX2. Same contracts as the
+// dispatching wrappers, except predicates are taken as-is: callers must
+// pass vid <= LowMask(bits), lo <= hi, and a non-empty sorted_vids.
+void PackedMGetScalar(const uint64_t* words, uint32_t bits, uint64_t from,
+                      uint64_t to, uint32_t* out);
+void PackedSearchEqScalar(const uint64_t* words, uint32_t bits, uint64_t from,
+                          uint64_t to, uint64_t vid, RowPos base,
+                          std::vector<RowPos>* out);
+void PackedSearchRangeScalar(const uint64_t* words, uint32_t bits,
+                             uint64_t from, uint64_t to, uint64_t lo,
+                             uint64_t hi, RowPos base,
+                             std::vector<RowPos>* out);
+void PackedSearchInScalar(const uint64_t* words, uint32_t bits, uint64_t from,
+                          uint64_t to, const std::vector<ValueId>& sorted_vids,
+                          RowPos base, std::vector<RowPos>* out);
 
 // ---------------------------------------------------------------------------
 // PackedVector: an owning, fully-in-memory n-bit packed vector. This is the

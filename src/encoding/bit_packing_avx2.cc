@@ -1,0 +1,316 @@
+// AVX2 tier of the packed decode/scan kernels (§3.1.1's vectorized n-bit
+// decode). Compiled with -mavx2 and only ever entered through the runtime
+// dispatch table, so the rest of the binary stays runnable on CPUs without
+// AVX2. Everything except the table getter has internal linkage to keep
+// AVX2 codegen from leaking into symbols the linker could pick for other
+// translation units.
+//
+// Decode strategy, 8 values per step. Groups of 8 n-bit values whose start
+// index is a multiple of 8 begin on a byte boundary (8n bits is n bytes),
+// so all per-lane byte offsets and bit shifts are compile-time constants of
+// the width:
+//
+//   n in [1, 25]  — two 16-byte loads cover all eight 4-byte windows
+//                   (lanes 0..3 from the load at the group base, lanes 4..7
+//                   from the load at base + (4n >> 3)); one shuffle places
+//                   each window in its lane, a variable shift aligns it, a
+//                   mask isolates the value. A window of 32 bits holds any
+//                   value with shift + n <= 7 + 25 <= 32.
+//   n in [26, 32] — 4-byte windows cannot hold a value (shift + n can reach
+//                   39), so two 4-lane 64-bit gathers fetch 8-byte windows,
+//                   shift + mask in 64-bit lanes, then the low dwords are
+//                   compressed into one 8-lane register.
+//
+// The scalar head aligns the cursor to a group boundary, the scalar tail
+// finishes the remainder, and VecLimit caps the vector loop so that no load
+// reaches past the 8 tail bytes the packed-buffer contract guarantees.
+
+#include <immintrin.h>
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "encoding/packed_scan_internal.h"
+#include "encoding/simd_dispatch.h"
+#include "encoding/types.h"
+
+namespace payg {
+
+const PackedKernels* GetAvx2KernelTable();
+
+namespace {
+
+using detail::GetOneAligned;
+
+// ---------------------------------------------------------------------------
+// Per-width decode of one 8-value group starting at byte `group`.
+// ---------------------------------------------------------------------------
+
+template <uint32_t BITS>
+struct Shuffle8 {
+  static_assert(BITS >= 1 && BITS <= 25);
+  static constexpr uint32_t kQB = (4 * BITS) >> 3;  // byte offset of load B
+
+  static constexpr std::array<int8_t, 32> MakeCtrl() {
+    std::array<int8_t, 32> c{};
+    for (int j = 0; j < 4; ++j) {
+      const int a = (j * static_cast<int>(BITS)) >> 3;
+      const int b =
+          (((4 + j) * static_cast<int>(BITS)) >> 3) - static_cast<int>(kQB);
+      for (int k = 0; k < 4; ++k) {
+        c[4 * j + k] = static_cast<int8_t>(a + k);
+        c[16 + 4 * j + k] = static_cast<int8_t>(b + k);
+      }
+    }
+    return c;
+  }
+  static constexpr std::array<int32_t, 8> MakeShift() {
+    std::array<int32_t, 8> s{};
+    for (int i = 0; i < 8; ++i) s[i] = (i * static_cast<int>(BITS)) & 7;
+    return s;
+  }
+
+  alignas(32) static constexpr std::array<int8_t, 32> kCtrl = MakeCtrl();
+  alignas(32) static constexpr std::array<int32_t, 8> kShift = MakeShift();
+};
+
+template <uint32_t BITS>
+struct Gather8 {
+  static_assert(BITS >= 26 && BITS <= 32);
+  static constexpr std::array<int32_t, 8> MakeOff() {
+    std::array<int32_t, 8> o{};
+    for (int i = 0; i < 8; ++i) o[i] = (i * static_cast<int>(BITS)) >> 3;
+    return o;
+  }
+  static constexpr std::array<int64_t, 8> MakeShift() {
+    std::array<int64_t, 8> s{};
+    for (int i = 0; i < 8; ++i) s[i] = (i * static_cast<int>(BITS)) & 7;
+    return s;
+  }
+  alignas(32) static constexpr std::array<int32_t, 8> kOff = MakeOff();
+  alignas(32) static constexpr std::array<int64_t, 8> kShift = MakeShift();
+};
+
+template <uint32_t BITS>
+inline __m256i Decode8(const uint8_t* group) {
+  if constexpr (BITS <= 25) {
+    using C = Shuffle8<BITS>;
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(group));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(group + C::kQB));
+    const __m256i src =
+        _mm256_inserti128_si256(_mm256_castsi128_si256(a), b, 1);
+    const __m256i win = _mm256_shuffle_epi8(
+        src,
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(C::kCtrl.data())));
+    const __m256i val = _mm256_srlv_epi32(
+        win,
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(C::kShift.data())));
+    return _mm256_and_si256(
+        val, _mm256_set1_epi32(static_cast<int>(LowMask(BITS))));
+  } else {
+    using C = Gather8<BITS>;
+    const long long* base = reinterpret_cast<const long long*>(group);
+    const __m128i idx0 =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(C::kOff.data()));
+    const __m128i idx1 =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(C::kOff.data() + 4));
+    __m256i w0 = _mm256_i32gather_epi64(base, idx0, 1);
+    __m256i w1 = _mm256_i32gather_epi64(base, idx1, 1);
+    w0 = _mm256_srlv_epi64(w0, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                                   C::kShift.data())));
+    w1 = _mm256_srlv_epi64(w1, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                                   C::kShift.data() + 4)));
+    const __m256i mask =
+        _mm256_set1_epi64x(static_cast<long long>(LowMask(BITS)));
+    w0 = _mm256_and_si256(w0, mask);
+    w1 = _mm256_and_si256(w1, mask);
+    const __m256i pick = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+    const __m256i lo0 = _mm256_permutevar8x32_epi32(w0, pick);
+    const __m256i lo1 = _mm256_permutevar8x32_epi32(w1, pick);
+    return _mm256_inserti128_si256(lo0, _mm256_castsi256_si128(lo1), 1);
+  }
+}
+
+// Highest value index the vector loop may decode: every load of a group
+// starting at index i (base byte i*BITS/8) must end within the readable
+// region, which the packed-buffer contract bounds at ceil(to*BITS/8) + 8
+// bytes. Groups beyond the limit fall to the scalar tail.
+template <uint32_t BITS>
+inline uint64_t VecLimit(uint64_t to) {
+  constexpr uint64_t kLoadEnd =
+      BITS <= 25 ? ((4 * BITS) >> 3) + 16 : ((7 * BITS) >> 3) + 8;
+  const uint64_t readable = (to * BITS + 7) / 8 + 8;
+  if (readable < kLoadEnd) return 0;
+  const uint64_t max_start = (readable - kLoadEnd) * 8 / BITS;
+  const uint64_t limit = max_start + 8;
+  return limit < to ? limit : to;
+}
+
+// ---------------------------------------------------------------------------
+// Kernels.
+// ---------------------------------------------------------------------------
+
+template <uint32_t BITS>
+void MGetAvx2(const uint64_t* words, uint64_t from, uint64_t to,
+              uint32_t* out) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(words);
+  uint32_t* dst = out;
+  uint64_t i = from;
+  const uint64_t head_end = std::min<uint64_t>(to, (from + 7) & ~7ull);
+  for (; i < head_end; ++i) *dst++ = GetOneAligned<BITS>(words, i);
+  const uint64_t limit = VecLimit<BITS>(to);
+  for (; i + 8 <= limit; i += 8, dst += 8) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst),
+                        Decode8<BITS>(bytes + (i / 8) * BITS));
+  }
+  for (; i < to; ++i) *dst++ = GetOneAligned<BITS>(words, i);
+}
+
+// Vectorized predicates: scalar state plus an 8-lane evaluation of the same
+// condition. kVecExact marks whether the vector mask is the final answer
+// (Eq/Range) or a prefilter whose candidates re-run the scalar predicate
+// (In: the band check cannot express set membership).
+struct VEq {
+  static constexpr bool kVecExact = true;
+  detail::EqPred s;
+  __m256i target;
+  explicit VEq(uint64_t vid)
+      : s{vid}, target(_mm256_set1_epi32(static_cast<int>(
+                    static_cast<uint32_t>(vid)))) {}
+  bool scalar(uint64_t v) const { return s(v); }
+  __m256i Vec(__m256i v) const { return _mm256_cmpeq_epi32(v, target); }
+};
+
+struct VRange {
+  static constexpr bool kVecExact = true;
+  detail::RangePred s;
+  __m256i lo_v, band_v;
+  VRange(uint64_t lo, uint64_t hi)
+      : s{lo, hi - lo},
+        lo_v(_mm256_set1_epi32(static_cast<int>(static_cast<uint32_t>(lo)))),
+        band_v(_mm256_set1_epi32(
+            static_cast<int>(static_cast<uint32_t>(hi - lo)))) {}
+  bool scalar(uint64_t v) const { return s(v); }
+  __m256i Vec(__m256i v) const {
+    // Unsigned band compare: (v - lo) <= band  <=>  min_u(v - lo, band) == v - lo.
+    const __m256i sub = _mm256_sub_epi32(v, lo_v);
+    return _mm256_cmpeq_epi32(_mm256_min_epu32(sub, band_v), sub);
+  }
+};
+
+struct VIn {
+  static constexpr bool kVecExact = false;
+  detail::InPred s;
+  __m256i lo_v, band_v;
+  explicit VIn(const std::vector<ValueId>& vids)
+      : s{vids.data(), vids.size(), vids.front(),
+          static_cast<uint64_t>(vids.back()) - vids.front()},
+        lo_v(_mm256_set1_epi32(static_cast<int>(vids.front()))),
+        band_v(_mm256_set1_epi32(
+            static_cast<int>(vids.back() - vids.front()))) {}
+  bool scalar(uint64_t v) const { return s(v); }
+  __m256i Vec(__m256i v) const {
+    const __m256i sub = _mm256_sub_epi32(v, lo_v);
+    return _mm256_cmpeq_epi32(_mm256_min_epu32(sub, band_v), sub);
+  }
+};
+
+// One scan skeleton for all three search kernels — the vector twin of
+// ScalarScan in bit_packing.cc. Matches are buffered locally and appended
+// out of line so no std::vector code is instantiated in this TU.
+template <uint32_t BITS, typename VPred>
+void ScanAvx2(const uint64_t* words, uint64_t from, uint64_t to, RowPos base,
+              std::vector<RowPos>* out, const VPred& pred) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(words);
+  RowPos buf[64];
+  size_t nbuf = 0;
+  const auto flush = [&] {
+    if (nbuf > 0) {
+      detail::AppendRows(out, buf, nbuf);
+      nbuf = 0;
+    }
+  };
+  uint64_t i = from;
+  const uint64_t head_end = std::min<uint64_t>(to, (from + 7) & ~7ull);
+  for (; i < head_end; ++i) {
+    if (pred.scalar(GetOneAligned<BITS>(words, i))) {
+      buf[nbuf++] = base + static_cast<RowPos>(i - from);
+    }
+  }
+  const uint64_t limit = VecLimit<BITS>(to);
+  for (; i + 8 <= limit; i += 8) {
+    const __m256i v = Decode8<BITS>(bytes + (i / 8) * BITS);
+    const int m = _mm256_movemask_ps(_mm256_castsi256_ps(pred.Vec(v)));
+    if (m == 0) continue;
+    if (nbuf > 56) flush();
+    unsigned mm = static_cast<unsigned>(m);
+    if constexpr (VPred::kVecExact) {
+      while (mm != 0) {
+        const int lane = std::countr_zero(mm);
+        mm &= mm - 1;
+        buf[nbuf++] = base + static_cast<RowPos>(i + lane - from);
+      }
+    } else {
+      alignas(32) uint32_t vals[8];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(vals), v);
+      while (mm != 0) {
+        const int lane = std::countr_zero(mm);
+        mm &= mm - 1;
+        if (pred.scalar(vals[lane])) {
+          buf[nbuf++] = base + static_cast<RowPos>(i + lane - from);
+        }
+      }
+    }
+  }
+  for (; i < to; ++i) {
+    if (nbuf > 56) flush();
+    if (pred.scalar(GetOneAligned<BITS>(words, i))) {
+      buf[nbuf++] = base + static_cast<RowPos>(i - from);
+    }
+  }
+  flush();
+}
+
+template <uint32_t BITS>
+void SearchEqAvx2(const uint64_t* words, uint64_t from, uint64_t to,
+                  uint64_t vid, RowPos base, std::vector<RowPos>* out) {
+  ScanAvx2<BITS>(words, from, to, base, out, VEq(vid));
+}
+
+template <uint32_t BITS>
+void SearchRangeAvx2(const uint64_t* words, uint64_t from, uint64_t to,
+                     uint64_t lo, uint64_t hi, RowPos base,
+                     std::vector<RowPos>* out) {
+  ScanAvx2<BITS>(words, from, to, base, out, VRange(lo, hi));
+}
+
+template <uint32_t BITS>
+void SearchInAvx2(const uint64_t* words, uint64_t from, uint64_t to,
+                  const std::vector<ValueId>& vids, RowPos base,
+                  std::vector<RowPos>* out) {
+  ScanAvx2<BITS>(words, from, to, base, out, VIn(vids));
+}
+
+template <size_t... I>
+PackedKernels MakeTable(std::index_sequence<I...>) {
+  PackedKernels k{};
+  ((k.mget[I + 1] = &MGetAvx2<I + 1>), ...);
+  ((k.search_eq[I + 1] = &SearchEqAvx2<I + 1>), ...);
+  ((k.search_range[I + 1] = &SearchRangeAvx2<I + 1>), ...);
+  ((k.search_in[I + 1] = &SearchInAvx2<I + 1>), ...);
+  return k;
+}
+
+}  // namespace
+
+const PackedKernels* GetAvx2KernelTable() {
+  static const PackedKernels table = MakeTable(std::make_index_sequence<32>{});
+  return &table;
+}
+
+}  // namespace payg

@@ -1,0 +1,258 @@
+// SSE4.2 tier of the packed decode/scan kernels. Same structure as the AVX2
+// tier (see bit_packing_avx2.cc for the layout math), but each 8-value group
+// is decoded as two 128-bit halves of 4 values. SSE has no variable per-lane
+// shift, so the shift is emulated with a multiply: for a 4-byte window
+// holding the value at bit offset s,
+//
+//   ((window * 2^(7-s)) >> 7) & mask  ==  (window >> s) & mask
+//
+// because the multiply (mod 2^32) moves bits [s, s+25) to [7, 32) — enough
+// for any width up to 25. Widths 26..32 need 8-byte windows SSE cannot
+// shuffle per-lane, so they stay on the scalar kernels in this tier's table.
+
+#include <smmintrin.h>
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "encoding/bit_packing.h"
+#include "encoding/packed_scan_internal.h"
+#include "encoding/simd_dispatch.h"
+#include "encoding/types.h"
+
+namespace payg {
+
+const PackedKernels* GetSse42KernelTable();
+
+namespace {
+
+using detail::GetOneAligned;
+
+// Decode constants for half `H` (values 4H..4H+3) of an 8-value group.
+template <uint32_t BITS, int H>
+struct Shuffle4 {
+  static_assert(BITS >= 1 && BITS <= 25);
+  static constexpr uint32_t kOff = ((4 * H) * BITS) >> 3;  // load offset
+
+  static constexpr std::array<int8_t, 16> MakeCtrl() {
+    std::array<int8_t, 16> c{};
+    for (int j = 0; j < 4; ++j) {
+      const int b = (((4 * H + j) * static_cast<int>(BITS)) >> 3) -
+                    static_cast<int>(kOff);
+      for (int k = 0; k < 4; ++k) c[4 * j + k] = static_cast<int8_t>(b + k);
+    }
+    return c;
+  }
+  static constexpr std::array<uint32_t, 4> MakeMul() {
+    std::array<uint32_t, 4> m{};
+    for (int j = 0; j < 4; ++j) {
+      const int s = ((4 * H + j) * static_cast<int>(BITS)) & 7;
+      m[j] = 1u << (7 - s);
+    }
+    return m;
+  }
+
+  alignas(16) static constexpr std::array<int8_t, 16> kCtrl = MakeCtrl();
+  alignas(16) static constexpr std::array<uint32_t, 4> kMul = MakeMul();
+};
+
+template <uint32_t BITS, int H>
+inline __m128i Decode4(const uint8_t* group) {
+  using C = Shuffle4<BITS, H>;
+  const __m128i src = _mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(group + C::kOff));
+  const __m128i win = _mm_shuffle_epi8(
+      src, _mm_load_si128(reinterpret_cast<const __m128i*>(C::kCtrl.data())));
+  const __m128i shifted = _mm_srli_epi32(
+      _mm_mullo_epi32(win, _mm_load_si128(reinterpret_cast<const __m128i*>(
+                               C::kMul.data()))),
+      7);
+  return _mm_and_si128(shifted,
+                       _mm_set1_epi32(static_cast<int>(LowMask(BITS))));
+}
+
+// Same readable-region bound as the AVX2 tier: the farthest load is the
+// second half's, at group byte (4*BITS>>3) spanning 16 bytes.
+template <uint32_t BITS>
+inline uint64_t VecLimit(uint64_t to) {
+  constexpr uint64_t kLoadEnd = ((4 * BITS) >> 3) + 16;
+  const uint64_t readable = (to * BITS + 7) / 8 + 8;
+  if (readable < kLoadEnd) return 0;
+  const uint64_t max_start = (readable - kLoadEnd) * 8 / BITS;
+  const uint64_t limit = max_start + 8;
+  return limit < to ? limit : to;
+}
+
+template <uint32_t BITS>
+void MGetSse42(const uint64_t* words, uint64_t from, uint64_t to,
+               uint32_t* out) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(words);
+  uint32_t* dst = out;
+  uint64_t i = from;
+  const uint64_t head_end = std::min<uint64_t>(to, (from + 7) & ~7ull);
+  for (; i < head_end; ++i) *dst++ = GetOneAligned<BITS>(words, i);
+  const uint64_t limit = VecLimit<BITS>(to);
+  for (; i + 8 <= limit; i += 8, dst += 8) {
+    const uint8_t* group = bytes + (i / 8) * BITS;
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst),
+                     Decode4<BITS, 0>(group));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 4),
+                     Decode4<BITS, 1>(group));
+  }
+  for (; i < to; ++i) *dst++ = GetOneAligned<BITS>(words, i);
+}
+
+struct VEq {
+  static constexpr bool kVecExact = true;
+  detail::EqPred s;
+  __m128i target;
+  explicit VEq(uint64_t vid)
+      : s{vid}, target(_mm_set1_epi32(
+                    static_cast<int>(static_cast<uint32_t>(vid)))) {}
+  bool scalar(uint64_t v) const { return s(v); }
+  __m128i Vec(__m128i v) const { return _mm_cmpeq_epi32(v, target); }
+};
+
+struct VRange {
+  static constexpr bool kVecExact = true;
+  detail::RangePred s;
+  __m128i lo_v, band_v;
+  VRange(uint64_t lo, uint64_t hi)
+      : s{lo, hi - lo},
+        lo_v(_mm_set1_epi32(static_cast<int>(static_cast<uint32_t>(lo)))),
+        band_v(_mm_set1_epi32(
+            static_cast<int>(static_cast<uint32_t>(hi - lo)))) {}
+  bool scalar(uint64_t v) const { return s(v); }
+  __m128i Vec(__m128i v) const {
+    const __m128i sub = _mm_sub_epi32(v, lo_v);
+    return _mm_cmpeq_epi32(_mm_min_epu32(sub, band_v), sub);
+  }
+};
+
+struct VIn {
+  static constexpr bool kVecExact = false;
+  detail::InPred s;
+  __m128i lo_v, band_v;
+  explicit VIn(const std::vector<ValueId>& vids)
+      : s{vids.data(), vids.size(), vids.front(),
+          static_cast<uint64_t>(vids.back()) - vids.front()},
+        lo_v(_mm_set1_epi32(static_cast<int>(vids.front()))),
+        band_v(_mm_set1_epi32(static_cast<int>(vids.back() - vids.front()))) {}
+  bool scalar(uint64_t v) const { return s(v); }
+  __m128i Vec(__m128i v) const {
+    const __m128i sub = _mm_sub_epi32(v, lo_v);
+    return _mm_cmpeq_epi32(_mm_min_epu32(sub, band_v), sub);
+  }
+};
+
+template <uint32_t BITS, typename VPred>
+void ScanSse42(const uint64_t* words, uint64_t from, uint64_t to, RowPos base,
+               std::vector<RowPos>* out, const VPred& pred) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(words);
+  RowPos buf[64];
+  size_t nbuf = 0;
+  const auto flush = [&] {
+    if (nbuf > 0) {
+      detail::AppendRows(out, buf, nbuf);
+      nbuf = 0;
+    }
+  };
+  uint64_t i = from;
+  const uint64_t head_end = std::min<uint64_t>(to, (from + 7) & ~7ull);
+  for (; i < head_end; ++i) {
+    if (pred.scalar(GetOneAligned<BITS>(words, i))) {
+      buf[nbuf++] = base + static_cast<RowPos>(i - from);
+    }
+  }
+  const uint64_t limit = VecLimit<BITS>(to);
+  for (; i + 8 <= limit; i += 8) {
+    const uint8_t* group = bytes + (i / 8) * BITS;
+    const __m128i v0 = Decode4<BITS, 0>(group);
+    const __m128i v1 = Decode4<BITS, 1>(group);
+    const int m = _mm_movemask_ps(_mm_castsi128_ps(pred.Vec(v0))) |
+                  (_mm_movemask_ps(_mm_castsi128_ps(pred.Vec(v1))) << 4);
+    if (m == 0) continue;
+    if (nbuf > 56) flush();
+    unsigned mm = static_cast<unsigned>(m);
+    if constexpr (VPred::kVecExact) {
+      while (mm != 0) {
+        const int lane = std::countr_zero(mm);
+        mm &= mm - 1;
+        buf[nbuf++] = base + static_cast<RowPos>(i + lane - from);
+      }
+    } else {
+      alignas(16) uint32_t vals[8];
+      _mm_store_si128(reinterpret_cast<__m128i*>(vals), v0);
+      _mm_store_si128(reinterpret_cast<__m128i*>(vals + 4), v1);
+      while (mm != 0) {
+        const int lane = std::countr_zero(mm);
+        mm &= mm - 1;
+        if (pred.scalar(vals[lane])) {
+          buf[nbuf++] = base + static_cast<RowPos>(i + lane - from);
+        }
+      }
+    }
+  }
+  for (; i < to; ++i) {
+    if (nbuf > 56) flush();
+    if (pred.scalar(GetOneAligned<BITS>(words, i))) {
+      buf[nbuf++] = base + static_cast<RowPos>(i - from);
+    }
+  }
+  flush();
+}
+
+template <uint32_t BITS>
+void SearchEqSse42(const uint64_t* words, uint64_t from, uint64_t to,
+                   uint64_t vid, RowPos base, std::vector<RowPos>* out) {
+  ScanSse42<BITS>(words, from, to, base, out, VEq(vid));
+}
+
+template <uint32_t BITS>
+void SearchRangeSse42(const uint64_t* words, uint64_t from, uint64_t to,
+                      uint64_t lo, uint64_t hi, RowPos base,
+                      std::vector<RowPos>* out) {
+  ScanSse42<BITS>(words, from, to, base, out, VRange(lo, hi));
+}
+
+template <uint32_t BITS>
+void SearchInSse42(const uint64_t* words, uint64_t from, uint64_t to,
+                   const std::vector<ValueId>& vids, RowPos base,
+                   std::vector<RowPos>* out) {
+  ScanSse42<BITS>(words, from, to, base, out, VIn(vids));
+}
+
+// Widths 26..32 fall back to the scalar kernels inside this tier's table.
+template <size_t... I>
+PackedKernels MakeTable(std::index_sequence<I...>) {
+  PackedKernels k{};
+  const auto fill = [&k](auto bits_c, auto /*unused*/) {
+    constexpr uint32_t kBits = decltype(bits_c)::value;
+    if constexpr (kBits <= 25) {
+      k.mget[kBits] = &MGetSse42<kBits>;
+      k.search_eq[kBits] = &SearchEqSse42<kBits>;
+      k.search_range[kBits] = &SearchRangeSse42<kBits>;
+      k.search_in[kBits] = &SearchInSse42<kBits>;
+    } else {
+      const PackedKernels& scalar = *KernelsFor(SimdLevel::kScalar);
+      k.mget[kBits] = scalar.mget[kBits];
+      k.search_eq[kBits] = scalar.search_eq[kBits];
+      k.search_range[kBits] = scalar.search_range[kBits];
+      k.search_in[kBits] = scalar.search_in[kBits];
+    }
+  };
+  (fill(std::integral_constant<uint32_t, I + 1>{}, 0), ...);
+  return k;
+}
+
+}  // namespace
+
+const PackedKernels* GetSse42KernelTable() {
+  static const PackedKernels table = MakeTable(std::make_index_sequence<32>{});
+  return &table;
+}
+
+}  // namespace payg

@@ -1,0 +1,91 @@
+#ifndef PAYG_ENCODING_PACKED_SCAN_INTERNAL_H_
+#define PAYG_ENCODING_PACKED_SCAN_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "encoding/types.h"
+
+// Shared internals of the packed scan kernels. Both the portable scalar
+// kernels (bit_packing.cc) and the SIMD tiers (bit_packing_avx2.cc,
+// bit_packing_sse42.cc) are generated from the one predicate-driven scan
+// skeleton built on these pieces, so every tier answers a search with the
+// same structure: decode a batch, apply the predicate, append the matching
+// positions.
+//
+// This header is included by translation units compiled with different
+// -m<isa> flags, so it must stay free of intrinsics and of anything that
+// would instantiate non-trivial library templates (see AppendRows).
+
+namespace payg::detail {
+
+// Decodes value `idx` via two aligned word reads. Unlike the unaligned
+// 8-byte-window read this never touches more than one word past the value's
+// own data, and it serves every width in [1, 64 - 1]: the straddling high
+// part is fetched from the next word explicitly instead of relying on the
+// window to cover it. The SIMD kernels use it for their scalar head/tail,
+// and PackedGet routes widths in [26, 32] through the same two-word form.
+template <uint32_t BITS>
+inline uint32_t GetOneAligned(const uint64_t* words, uint64_t idx) {
+  const uint64_t bitpos = idx * BITS;
+  const uint64_t w = bitpos >> 6;
+  const uint32_t shift = static_cast<uint32_t>(bitpos & 63);
+  uint64_t v = words[w] >> shift;
+  if (shift + BITS > 64) {
+    v |= words[w + 1] << (64 - shift);
+  }
+  return static_cast<uint32_t>(v & LowMask(BITS));
+}
+
+// Out-of-line batched append (defined in bit_packing.cc, which is compiled
+// without any -m<isa> flag). The SIMD translation units call this instead of
+// touching std::vector themselves so that no vector<RowPos> method gets
+// instantiated with AVX2/SSE4.2 codegen and then picked by the linker for
+// callers running on older CPUs.
+void AppendRows(std::vector<RowPos>* out, const RowPos* rows, size_t n);
+
+// ---------------------------------------------------------------------------
+// Scan predicates. Each predicate carries plain scalar state; the SIMD tiers
+// wrap them with a vectorized evaluation of the same condition.
+// ---------------------------------------------------------------------------
+
+struct EqPred {
+  uint64_t vid;
+  bool operator()(uint64_t v) const { return v == vid; }
+};
+
+// lo <= v <= hi as the single unsigned band check (v - lo) <= (hi - lo).
+struct RangePred {
+  uint64_t lo;
+  uint64_t band;  // hi - lo
+  bool operator()(uint64_t v) const { return v - lo <= band; }
+};
+
+// v ∈ sorted set. The band check rejects most non-members before the binary
+// search. The search is hand-rolled over raw pointers (not std::binary_search)
+// for the same ODR reason as AppendRows.
+struct InPred {
+  const ValueId* vals;
+  size_t n;
+  uint64_t lo;
+  uint64_t band;
+  bool operator()(uint64_t v) const {
+    if (v - lo > band) return false;
+    size_t left = 0, right = n;
+    while (left < right) {
+      size_t mid = left + (right - left) / 2;
+      if (static_cast<uint64_t>(vals[mid]) < v) {
+        left = mid + 1;
+      } else {
+        right = mid;
+      }
+    }
+    return left < n && static_cast<uint64_t>(vals[left]) == v;
+  }
+};
+
+}  // namespace payg::detail
+
+#endif  // PAYG_ENCODING_PACKED_SCAN_INTERNAL_H_

@@ -1,0 +1,127 @@
+#include "encoding/simd_dispatch.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "encoding/bit_packing.h"
+
+namespace payg {
+
+// Defined in the per-ISA translation units (compiled with -mavx2 / -msse4.2
+// respectively); only linked in when the build enables the tier.
+#if defined(PAYG_HAVE_AVX2_TU)
+const PackedKernels* GetAvx2KernelTable();
+#endif
+#if defined(PAYG_HAVE_SSE42_TU)
+const PackedKernels* GetSse42KernelTable();
+#endif
+
+namespace {
+
+// Scalar tier: thin per-width wrappers that burn `bits` into the entry so
+// the table shape matches the SIMD tiers (whose kernels are genuinely
+// specialized per width).
+template <uint32_t BITS>
+void MGetScalarW(const uint64_t* words, uint64_t from, uint64_t to,
+                 uint32_t* out) {
+  PackedMGetScalar(words, BITS, from, to, out);
+}
+template <uint32_t BITS>
+void SearchEqScalarW(const uint64_t* words, uint64_t from, uint64_t to,
+                     uint64_t vid, RowPos base, std::vector<RowPos>* out) {
+  PackedSearchEqScalar(words, BITS, from, to, vid, base, out);
+}
+template <uint32_t BITS>
+void SearchRangeScalarW(const uint64_t* words, uint64_t from, uint64_t to,
+                        uint64_t lo, uint64_t hi, RowPos base,
+                        std::vector<RowPos>* out) {
+  PackedSearchRangeScalar(words, BITS, from, to, lo, hi, base, out);
+}
+template <uint32_t BITS>
+void SearchInScalarW(const uint64_t* words, uint64_t from, uint64_t to,
+                     const std::vector<ValueId>& vids, RowPos base,
+                     std::vector<RowPos>* out) {
+  PackedSearchInScalar(words, BITS, from, to, vids, base, out);
+}
+
+template <size_t... I>
+PackedKernels MakeScalarTable(std::index_sequence<I...>) {
+  PackedKernels k{};
+  ((k.mget[I + 1] = &MGetScalarW<I + 1>), ...);
+  ((k.search_eq[I + 1] = &SearchEqScalarW<I + 1>), ...);
+  ((k.search_range[I + 1] = &SearchRangeScalarW<I + 1>), ...);
+  ((k.search_in[I + 1] = &SearchInScalarW<I + 1>), ...);
+  return k;
+}
+
+const PackedKernels& ScalarTable() {
+  static const PackedKernels table =
+      MakeScalarTable(std::make_index_sequence<32>{});
+  return table;
+}
+
+SimdLevel ChooseActiveLevel() {
+  const char* force = std::getenv("PAYG_FORCE_SCALAR");
+  if (force != nullptr && force[0] == '1') return SimdLevel::kScalar;
+  const char* pick = std::getenv("PAYG_SIMD");
+  if (pick != nullptr) {
+    if (std::strcmp(pick, "scalar") == 0) return SimdLevel::kScalar;
+    if (std::strcmp(pick, "sse42") == 0 &&
+        KernelsFor(SimdLevel::kSse42) != nullptr) {
+      return SimdLevel::kSse42;
+    }
+    if (std::strcmp(pick, "avx2") == 0 &&
+        KernelsFor(SimdLevel::kAvx2) != nullptr) {
+      return SimdLevel::kAvx2;
+    }
+    // Unknown or unsupported request: fall through to auto-detection.
+  }
+  if (KernelsFor(SimdLevel::kAvx2) != nullptr) return SimdLevel::kAvx2;
+  if (KernelsFor(SimdLevel::kSse42) != nullptr) return SimdLevel::kSse42;
+  return SimdLevel::kScalar;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse42:
+      return "sse42";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+const PackedKernels* KernelsFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return &ScalarTable();
+    case SimdLevel::kSse42:
+#if defined(PAYG_HAVE_SSE42_TU)
+      if (__builtin_cpu_supports("sse4.2")) return GetSse42KernelTable();
+#endif
+      return nullptr;
+    case SimdLevel::kAvx2:
+#if defined(PAYG_HAVE_AVX2_TU)
+      if (__builtin_cpu_supports("avx2")) return GetAvx2KernelTable();
+#endif
+      return nullptr;
+  }
+  return nullptr;
+}
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel level = ChooseActiveLevel();
+  return level;
+}
+
+const PackedKernels& ActiveKernels() {
+  static const PackedKernels* kernels = KernelsFor(ActiveSimdLevel());
+  return *kernels;
+}
+
+}  // namespace payg

@@ -1,0 +1,65 @@
+#ifndef PAYG_ENCODING_SIMD_DISPATCH_H_
+#define PAYG_ENCODING_SIMD_DISPATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "encoding/types.h"
+
+namespace payg {
+
+// Runtime-selected SIMD tier for the packed decode/scan kernels (§3.1.1's
+// vectorized n-bit decode). Detection runs once per process, at the first
+// packed kernel call, via cpuid:
+//
+//   * kAvx2   — 8 values per step (shuffle+variable-shift unpack, or 64-bit
+//               gathers for widths 26..32)
+//   * kSse42  — 8 values per step in two 128-bit halves (shuffle +
+//               multiply-shift unpack; widths 26..32 stay scalar)
+//   * kScalar — the portable sliding-window kernels; always available
+//
+// `PAYG_FORCE_SCALAR=1` pins the scalar tier regardless of the CPU (CI runs
+// the whole suite this way to keep the fallback green). `PAYG_SIMD=
+// scalar|sse42|avx2` selects a specific tier, clamped to what the CPU and
+// the build support.
+enum class SimdLevel : int { kScalar = 0, kSse42 = 1, kAvx2 = 2 };
+
+const char* SimdLevelName(SimdLevel level);
+
+// Per-bit-width kernel table of one tier. Index by the packed bit width
+// (1..32); entry 0 is unused. The `bits` parameter of the public kernels is
+// burned into each entry at compile time, which is what lets every width get
+// its own specialized unpack.
+struct PackedKernels {
+  using MGetFn = void (*)(const uint64_t* words, uint64_t from, uint64_t to,
+                          uint32_t* out);
+  using SearchEqFn = void (*)(const uint64_t* words, uint64_t from,
+                              uint64_t to, uint64_t vid, RowPos base,
+                              std::vector<RowPos>* out);
+  using SearchRangeFn = void (*)(const uint64_t* words, uint64_t from,
+                                 uint64_t to, uint64_t lo, uint64_t hi,
+                                 RowPos base, std::vector<RowPos>* out);
+  // sorted_vids is guaranteed non-empty (the dispatching wrapper handles the
+  // empty set).
+  using SearchInFn = void (*)(const uint64_t* words, uint64_t from,
+                              uint64_t to, const std::vector<ValueId>& vids,
+                              RowPos base, std::vector<RowPos>* out);
+
+  MGetFn mget[33];
+  SearchEqFn search_eq[33];
+  SearchRangeFn search_range[33];
+  SearchInFn search_in[33];
+};
+
+// Kernel table for `level`, or nullptr when the CPU or the build does not
+// provide that tier (kScalar never returns null). Tests use this to compare
+// every available tier against the scalar reference in one process.
+const PackedKernels* KernelsFor(SimdLevel level);
+
+// The tier the public PackedMGet / PackedSearch* entry points dispatch to.
+SimdLevel ActiveSimdLevel();
+const PackedKernels& ActiveKernels();
+
+}  // namespace payg
+
+#endif  // PAYG_ENCODING_SIMD_DISPATCH_H_

@@ -22,6 +22,8 @@ struct QueryStats {
   std::atomic<uint64_t> index_lookups{0};  // FindRows served by an index
   std::atomic<uint64_t> vector_scans{0};   // FindRows/search via vid scan
   std::atomic<uint64_t> partitions_visited{0};
+  std::atomic<uint64_t> prefetch_issued{0};  // readahead loads this query asked for
+  std::atomic<uint64_t> prefetch_hits{0};    // pins served by a prefetched page
 
   // Plain-integer copy for reporting (benchmarks, logs, tests).
   struct Snapshot {
@@ -32,6 +34,8 @@ struct QueryStats {
     uint64_t index_lookups = 0;
     uint64_t vector_scans = 0;
     uint64_t partitions_visited = 0;
+    uint64_t prefetch_issued = 0;
+    uint64_t prefetch_hits = 0;
   };
 
   Snapshot snapshot() const {
@@ -43,6 +47,8 @@ struct QueryStats {
     s.index_lookups = index_lookups.load(std::memory_order_relaxed);
     s.vector_scans = vector_scans.load(std::memory_order_relaxed);
     s.partitions_visited = partitions_visited.load(std::memory_order_relaxed);
+    s.prefetch_issued = prefetch_issued.load(std::memory_order_relaxed);
+    s.prefetch_hits = prefetch_hits.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -60,6 +66,9 @@ struct QueryStats {
     static obs::Counter* vector_scans = reg.counter("query.vector_scans");
     static obs::Counter* partitions_visited =
         reg.counter("query.partitions_visited");
+    static obs::Counter* prefetch_issued =
+        reg.counter("query.prefetch_issued");
+    static obs::Counter* prefetch_hits = reg.counter("query.prefetch_hits");
     pages_pinned->Add(s.pages_pinned);
     pages_read->Add(s.pages_read);
     bytes_read->Add(s.bytes_read);
@@ -67,6 +76,8 @@ struct QueryStats {
     index_lookups->Add(s.index_lookups);
     vector_scans->Add(s.vector_scans);
     partitions_visited->Add(s.partitions_visited);
+    prefetch_issued->Add(s.prefetch_issued);
+    prefetch_hits->Add(s.prefetch_hits);
   }
 };
 
@@ -140,6 +151,16 @@ inline void CountVectorScan(ExecContext* ctx) {
 inline void CountPartitionVisited(ExecContext* ctx) {
   if (ctx != nullptr) {
     ctx->stats.partitions_visited.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+inline void CountPrefetchIssued(ExecContext* ctx) {
+  if (ctx != nullptr) {
+    ctx->stats.prefetch_issued.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+inline void CountPrefetchHit(ExecContext* ctx) {
+  if (ctx != nullptr) {
+    ctx->stats.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

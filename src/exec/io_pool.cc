@@ -1,0 +1,25 @@
+#include "exec/io_pool.h"
+
+#include <cstdlib>
+
+namespace payg {
+
+namespace {
+
+uint32_t IoPoolThreads() {
+  const char* env = std::getenv("PAYG_PREFETCH_THREADS");
+  if (env != nullptr) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1 && v <= 16) return static_cast<uint32_t>(v);
+  }
+  return 2;
+}
+
+}  // namespace
+
+ThreadPool* SharedIoPool() {
+  static ThreadPool* pool = new ThreadPool(IoPoolThreads());
+  return pool;
+}
+
+}  // namespace payg

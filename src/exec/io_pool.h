@@ -1,0 +1,20 @@
+#ifndef PAYG_EXEC_IO_POOL_H_
+#define PAYG_EXEC_IO_POOL_H_
+
+#include "exec/thread_pool.h"
+
+namespace payg {
+
+// Process-wide background I/O pool used for page readahead (PageCache::
+// Prefetch). Deliberately tiny — its job is to overlap a handful of page
+// reads with decode, not to parallelize I/O — and intentionally separate
+// from the query executor's pool so prefetch work can never starve query
+// tasks (or vice versa). Sized by PAYG_PREFETCH_THREADS (default 2,
+// clamped to [1, 16]). Created on first use and intentionally leaked:
+// prefetch tasks may still be draining at process exit, and joining them
+// from a static destructor would race with other static teardown.
+ThreadPool* SharedIoPool();
+
+}  // namespace payg
+
+#endif  // PAYG_EXEC_IO_POOL_H_

@@ -1,6 +1,9 @@
 #include "paged/page_cache.h"
 
+#include <cstdlib>
+
 #include "exec/exec_context.h"
+#include "exec/io_pool.h"
 
 namespace payg {
 
@@ -9,11 +12,21 @@ Result<PageRef> PageCache::GetPage(LogicalPageNo lpn, ExecContext* ctx) {
     PAYG_RETURN_IF_ERROR(ctx->CheckDeadline());
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    // If a background prefetch of this very page is in flight, wait for it
+    // rather than paying a duplicate physical read — this wait (bounded by
+    // one page read) is where readahead turns latency into overlap.
+    inflight_cv_.wait(lock, [&] { return inflight_.count(lpn) == 0; });
     auto it = slots_.find(lpn);
     if (it != slots_.end()) {
       PinnedResource pin = PinnedResource::TryPin(rm_, it->second.rid);
       if (pin.valid()) {
+        if (it->second.prefetched) {
+          it->second.prefetched = false;
+          prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
+          m_prefetch_hits_->Inc();
+          CountPrefetchHit(ctx);
+        }
         CountPagePinned(ctx);
         hits_.fetch_add(1, std::memory_order_relaxed);
         m_hits_->Inc();
@@ -24,6 +37,7 @@ Result<PageRef> PageCache::GetPage(LogicalPageNo lpn, ExecContext* ctx) {
       // its own generation, so reloading below is safe).
       pin_waits_.fetch_add(1, std::memory_order_relaxed);
       m_pin_waits_->Inc();
+      CountWastedLocked(it->second);
       slots_.erase(it);
     }
   }
@@ -53,23 +67,101 @@ Result<PageRef> PageCache::GetPage(LogicalPageNo lpn, ExecContext* ctx) {
       // pin-wait: the call contended with another loader.
       PinnedResource theirs = PinnedResource::TryPin(rm_, it->second.rid);
       if (theirs.valid()) {
+        if (it->second.prefetched) {
+          it->second.prefetched = false;
+          prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
+          m_prefetch_hits_->Inc();
+          CountPrefetchHit(ctx);
+        }
         pin_waits_.fetch_add(1, std::memory_order_relaxed);
         m_pin_waits_->Inc();
         pin.Release();
         rm_->Unregister(rid);
         return PageRef(it->second.page, std::move(theirs), lpn);
       }
+      CountWastedLocked(it->second);
       slots_.erase(it);
     }
-    slots_[lpn] = Slot{page, rid, gen};
+    slots_[lpn] = Slot{page, rid, gen, /*prefetched=*/false};
   }
   return PageRef(std::move(page), std::move(pin), lpn);
+}
+
+void PageCache::Prefetch(LogicalPageNo lpn, ExecContext* ctx) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slots_.count(lpn) > 0 || inflight_.count(lpn) > 0) return;
+    inflight_.insert(lpn);
+  }
+  prefetch_issued_.fetch_add(1, std::memory_order_relaxed);
+  m_prefetch_issued_->Inc();
+  CountPrefetchIssued(ctx);
+  // Note: the task must not touch `ctx` — it may outlive the query.
+  SharedIoPool()->Submit([this, lpn] { DoPrefetch(lpn); });
+}
+
+void PageCache::DoPrefetch(LogicalPageNo lpn) {
+  // Erasing `lpn` from inflight_ is the signal DropAll / the destructor
+  // wait on before tearing the cache down, so it must be the LAST access to
+  // `this` in the task — notify while still holding the lock, touch nothing
+  // of the cache afterwards.
+  auto page = std::make_shared<Page>(file_->page_size());
+  Status st = file_->ReadPage(lpn, page.get(), nullptr);
+  if (!st.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
+    m_prefetch_wasted_->Inc();
+    inflight_.erase(lpn);
+    inflight_cv_.notify_all();
+    return;
+  }
+  loads_.fetch_add(1, std::memory_order_relaxed);
+
+  ResourceManager* rm = rm_;
+  const uint64_t gen = next_generation_.fetch_add(1);
+  ResourceId rid = rm->RegisterPinned(
+      label_ + "#" + std::to_string(lpn), file_->page_size(),
+      Disposition::kPagedAttribute, pool_,
+      [this, lpn, gen] { EvictSlot(lpn, gen); });
+  PinnedResource pin = PinnedResource::Adopt(rm, rid);
+
+  bool superseded = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slots_.count(lpn) > 0) {
+      // A synchronous load slipped in (the slot was evicted and reloaded
+      // while we were reading). Keep theirs, discard ours.
+      superseded = true;
+      prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
+      m_prefetch_wasted_->Inc();
+    } else {
+      slots_[lpn] = Slot{page, rid, gen, /*prefetched=*/true};
+    }
+  }
+  // Prefetched pages sit in the cache unpinned, with the normal
+  // weighted-LRU disposition: readahead must never shield a page from the
+  // resource manager.
+  pin.Release();
+  if (superseded) rm->Unregister(rid);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(lpn);
+    inflight_cv_.notify_all();
+  }
+}
+
+void PageCache::CountWastedLocked(const Slot& slot) {
+  if (slot.prefetched) {
+    prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
+    m_prefetch_wasted_->Inc();
+  }
 }
 
 void PageCache::EvictSlot(LogicalPageNo lpn, uint64_t generation) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = slots_.find(lpn);
   if (it != slots_.end() && it->second.generation == generation) {
+    CountWastedLocked(it->second);
     slots_.erase(it);
   }
 }
@@ -79,9 +171,24 @@ bool PageCache::IsLoaded(LogicalPageNo lpn) const {
   return slots_.count(lpn) > 0;
 }
 
-void PageCache::DropAll() {
+void PageCache::WaitForPrefetchIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  inflight_cv_.wait(lock, [&] { return inflight_.empty(); });
+}
+
+uint64_t PageCache::prefetch_inflight_count() const {
   std::lock_guard<std::mutex> lock(mu_);
+  return inflight_.size();
+}
+
+void PageCache::DropAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Drain in-flight prefetches first: their tasks capture `this` and will
+  // re-lock mu_ to publish, so the slot table must not be torn down under
+  // them (the destructor relies on this).
+  inflight_cv_.wait(lock, [&] { return inflight_.empty(); });
   for (auto& [lpn, slot] : slots_) {
+    CountWastedLocked(slot);
     rm_->Unregister(slot.rid);
   }
   slots_.clear();
@@ -90,6 +197,18 @@ void PageCache::DropAll() {
 uint64_t PageCache::loaded_page_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return slots_.size();
+}
+
+uint32_t DefaultReadaheadWindow() {
+  static const uint32_t window = [] {
+    const char* env = std::getenv("PAYG_READAHEAD");
+    if (env != nullptr) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v >= 0 && v <= 64) return static_cast<uint32_t>(v);
+    }
+    return 2u;
+  }();
+  return window;
 }
 
 }  // namespace payg

@@ -2,10 +2,12 @@
 #define PAYG_PAGED_PAGE_CACHE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "buffer/resource_manager.h"
 #include "common/result.h"
@@ -55,6 +57,9 @@ class PageCache {
     m_hits_ = reg.counter("cache.hits");
     m_misses_ = reg.counter("cache.misses");
     m_pin_waits_ = reg.counter("cache.pin_waits");
+    m_prefetch_issued_ = reg.counter("cache.prefetch_issued");
+    m_prefetch_hits_ = reg.counter("cache.prefetch_hits");
+    m_prefetch_wasted_ = reg.counter("cache.prefetch_wasted");
   }
 
   ~PageCache() { DropAll(); }
@@ -66,6 +71,20 @@ class PageCache {
   // When `ctx` is given, the pin (and any disk read) is attributed to that
   // query and its deadline is checked before touching the page.
   Result<PageRef> GetPage(LogicalPageNo lpn, ExecContext* ctx = nullptr);
+
+  // Non-blocking readahead: schedules a load of `lpn` on the shared
+  // background I/O pool and returns immediately. No-op when the page is
+  // already resident or a prefetch of it is in flight. The loaded page
+  // enters the cache unpinned, with the normal weighted-LRU disposition —
+  // the resource manager may evict it before it is ever touched (counted as
+  // wasted). `ctx` attributes the *issue* to a query; the physical read
+  // happens after this call returns and is accounted to the cache only,
+  // because the background task may outlive the query.
+  void Prefetch(LogicalPageNo lpn, ExecContext* ctx = nullptr);
+
+  // Blocks until no prefetch load is in flight (tests / benchmarks; new
+  // prefetches may be issued while this returns).
+  void WaitForPrefetchIdle();
 
   // True if the page is resident right now (tests / stats; racy by nature).
   bool IsLoaded(LogicalPageNo lpn) const;
@@ -95,6 +114,22 @@ class PageCache {
     return pin_waits_.load(std::memory_order_relaxed);
   }
 
+  // Prefetch accounting invariant: at any quiesce point,
+  //   issued == hits + wasted + inflight.
+  // Every issued prefetch ends in exactly one bucket: its first GetPage
+  // touch (hit), or a failed read / superseded load / eviction or drop
+  // before any touch (wasted), or it is still loading (inflight).
+  uint64_t prefetch_issued_count() const {
+    return prefetch_issued_.load(std::memory_order_relaxed);
+  }
+  uint64_t prefetch_hit_count() const {
+    return prefetch_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t prefetch_wasted_count() const {
+    return prefetch_wasted_.load(std::memory_order_relaxed);
+  }
+  uint64_t prefetch_inflight_count() const;
+
   PageFile* file() const { return file_; }
   ResourceManager* resource_manager() const { return rm_; }
 
@@ -103,11 +138,22 @@ class PageCache {
     std::shared_ptr<Page> page;
     ResourceId rid = kInvalidResourceId;
     uint64_t generation = 0;
+    // Loaded by Prefetch and not yet served to any GetPage call. The first
+    // pin clears the flag (a prefetch hit); leaving the cache with the flag
+    // still set means the readahead was wasted.
+    bool prefetched = false;
   };
 
   // Eviction callback target: forgets the slot if it still belongs to the
   // registration identified by `generation`.
   void EvictSlot(LogicalPageNo lpn, uint64_t generation);
+
+  // Body of a prefetch task on the background I/O pool.
+  void DoPrefetch(LogicalPageNo lpn);
+
+  // Counts a slot leaving the cache untouched after a prefetch. Caller holds
+  // mu_.
+  void CountWastedLocked(const Slot& slot);
 
   PageFile* file_;
   ResourceManager* rm_;
@@ -115,15 +161,33 @@ class PageCache {
   std::string label_;
   mutable std::mutex mu_;
   std::unordered_map<LogicalPageNo, Slot> slots_;
+  // Pages a background prefetch is currently loading. GetPage waits for an
+  // in-flight load of its page instead of issuing a duplicate read, which
+  // is what lets readahead actually hide latency. DropAll (and thus the
+  // destructor) drains this set before clearing, so no task outlives the
+  // cache.
+  std::unordered_set<LogicalPageNo> inflight_;
+  std::condition_variable inflight_cv_;
   std::atomic<uint64_t> loads_{0};
   std::atomic<uint64_t> next_generation_{1};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> pin_waits_{0};
+  std::atomic<uint64_t> prefetch_issued_{0};
+  std::atomic<uint64_t> prefetch_hits_{0};
+  std::atomic<uint64_t> prefetch_wasted_{0};
   obs::Counter* m_hits_;
   obs::Counter* m_misses_;
   obs::Counter* m_pin_waits_;
+  obs::Counter* m_prefetch_issued_;
+  obs::Counter* m_prefetch_hits_;
+  obs::Counter* m_prefetch_wasted_;
 };
+
+// Readahead window (pages prefetched ahead of a sequential cursor) used by
+// the paged iterators: PAYG_READAHEAD, default 2, clamped to [0, 64]; 0
+// disables readahead.
+uint32_t DefaultReadaheadWindow();
 
 }  // namespace payg
 

@@ -225,9 +225,19 @@ bool PagedDataVectorIterator::MayContain(RowPos rpos, ValueId lo,
   return summary_->MayContain(page_idx, lo, hi);
 }
 
-Status PagedDataVectorIterator::Reposition(RowPos rpos) {
+Status PagedDataVectorIterator::Reposition(RowPos rpos, bool sequential) {
   LogicalPageNo lpn = dv_->PageOfRow(rpos);
   if (lpn == current_lpn_ && current_.valid()) return Status::OK();
+  // On a forward scan, ask for the window behind this page before pinning
+  // it: the background loads then overlap with both this page's (possible)
+  // synchronous load and its decode.
+  if (sequential) {
+    for (uint32_t w = 1; w <= readahead_; ++w) {
+      const LogicalPageNo next = lpn + w;
+      if (next > dv_->data_pages_) break;  // data pages are 1..data_pages_
+      dv_->cache_->Prefetch(next, ctx_);
+    }
+  }
   // Pin the new page after releasing the handle to the previous page
   // (§3.1.2 "page reposition").
   current_.Release();
@@ -256,7 +266,7 @@ Status PagedDataVectorIterator::MGet(RowPos from, RowPos to,
   if (from > to || to > dv_->row_count_) return Status::OutOfRange("range");
   RowPos r = from;
   while (r < to) {
-    PAYG_RETURN_IF_ERROR(Reposition(r));
+    PAYG_RETURN_IF_ERROR(Reposition(r, /*sequential=*/true));
     RowPos page_end = page_first_row_ + static_cast<RowPos>(page_rows_);
     RowPos stop = std::min(to, page_end);
     size_t old = out->size();
@@ -286,7 +296,7 @@ Status PagedDataVectorIterator::SearchRange(RowPos from, RowPos to, ValueId lo,
       ++pages_pruned_;
       continue;
     }
-    PAYG_RETURN_IF_ERROR(Reposition(r));
+    PAYG_RETURN_IF_ERROR(Reposition(r, /*sequential=*/true));
     RowPos page_end = page_first_row_ + static_cast<RowPos>(page_rows_);
     RowPos stop = std::min(to, page_end);
     const uint64_t* words =
@@ -320,7 +330,7 @@ Status PagedDataVectorIterator::SearchIn(
       ++pages_pruned_;
       continue;
     }
-    PAYG_RETURN_IF_ERROR(Reposition(r));
+    PAYG_RETURN_IF_ERROR(Reposition(r, /*sequential=*/true));
     RowPos page_end = page_first_row_ + static_cast<RowPos>(page_rows_);
     RowPos stop = std::min(to, page_end);
     const uint64_t* words =

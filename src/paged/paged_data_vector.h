@@ -136,10 +136,18 @@ class PagedDataVectorIterator {
   // default; the summary only pays off when values cluster per page.
   void set_use_summary(bool on) { use_summary_ = on; }
 
+  // Pages to prefetch ahead of the cursor during sequential access (mget
+  // and the range/set searches). Defaults to DefaultReadaheadWindow()
+  // (PAYG_READAHEAD); 0 disables readahead for this iterator.
+  void set_readahead(uint32_t pages) { readahead_ = pages; }
+  uint32_t readahead() const { return readahead_; }
+
  private:
   // Pins the page holding `rpos` (releasing any previously pinned page) and
-  // returns the page-local packed view.
-  Status Reposition(RowPos rpos);
+  // returns the page-local packed view. `sequential` marks a forward scan:
+  // the next `readahead_` data pages are prefetched so their load overlaps
+  // with this page's decode.
+  Status Reposition(RowPos rpos, bool sequential = false);
 
   // True if the data page holding `rpos` may contain a vid in [lo, hi];
   // loads the summary lazily on first use (never fails the query: if the
@@ -154,6 +162,7 @@ class PagedDataVectorIterator {
   uint64_t page_rows_ = 0;      // rows stored on the pinned page
   uint64_t pages_touched_ = 0;
   uint64_t pages_pruned_ = 0;
+  uint32_t readahead_ = DefaultReadaheadWindow();
   bool use_summary_ = true;
   bool summary_checked_ = false;
   std::shared_ptr<PageSummary> summary_;

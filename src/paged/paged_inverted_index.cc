@@ -279,6 +279,22 @@ Result<RowPos> PagedIndexIterator::ReadPosting(uint64_t j) {
     data_off = 16;
   }
   if (lpn != pl_lpn_ || !pl_page_.valid()) {
+    // The walk over the current vid's postings is strictly forward; ask for
+    // the pages it will still need (postinglist pages and possibly the
+    // mixed page, never the directory) before the synchronous pin below.
+    for (uint32_t w = 1; w <= readahead_; ++w) {
+      const LogicalPageNo next = lpn + w;
+      uint64_t first_j;  // first posting offset stored on `next`
+      if (next <= index_->pl_pages_) {
+        first_j = (next - 1) * index_->pl_per_page_;
+      } else if (next == index_->mixed_lpn_) {
+        first_j = pure_capacity;
+      } else {
+        break;
+      }
+      if (first_j >= end_) break;  // this vid's postings end before it
+      index_->cache_->Prefetch(next, ctx_);
+    }
     pl_page_.Release();
     pl_lpn_ = kInvalidPageNo;
     auto ref = index_->cache_->GetPage(lpn, ctx_);

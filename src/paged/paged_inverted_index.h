@@ -97,6 +97,13 @@ class PagedIndexIterator {
 
   uint64_t pages_touched() const { return pages_touched_; }
 
+  // Pages to prefetch ahead of the posting cursor when a long postinglist
+  // crosses page boundaries (capped by where the current vid's postings
+  // end). Defaults to DefaultReadaheadWindow() (PAYG_READAHEAD); 0
+  // disables readahead for this iterator.
+  void set_readahead(uint32_t pages) { readahead_ = pages; }
+  uint32_t readahead() const { return readahead_; }
+
  private:
   // Directory entry k (k ∈ [0, dict_size]); entry dict_size is the end
   // sentinel equal to posting_count.
@@ -113,6 +120,7 @@ class PagedIndexIterator {
   uint64_t cursor_ = 0;  // next posting offset to read
   uint64_t end_ = 0;     // one past the last posting of the current vid
   uint64_t pages_touched_ = 0;
+  uint32_t readahead_ = DefaultReadaheadWindow();
 };
 
 }  // namespace payg

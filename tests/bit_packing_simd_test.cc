@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "encoding/bit_packing.h"
+#include "encoding/packed_scan_internal.h"
+#include "encoding/simd_dispatch.h"
+#include "encoding/types.h"
+
+namespace payg {
+namespace {
+
+// Property tests: every SIMD tier available in this process must produce
+// byte-identical output to the scalar reference kernels, for every bit width
+// 1..32, over ranges that hit the unaligned head/tail paths, the vector
+// safe-limit cutoff, and chunk-aligned sub-buffers (the paged page-decode
+// shape). CI runs this binary twice — once as built and once with
+// PAYG_FORCE_SCALAR=1 — so both dispatch outcomes stay covered.
+
+struct Tier {
+  SimdLevel level;
+  const PackedKernels* kernels;
+};
+
+std::vector<Tier> AvailableTiers() {
+  std::vector<Tier> tiers;
+  for (SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kSse42, SimdLevel::kAvx2}) {
+    const PackedKernels* k = KernelsFor(level);
+    if (k != nullptr) tiers.push_back(Tier{level, k});
+  }
+  return tiers;
+}
+
+// Random values exercising the full width: a mix of uniform values, all-ones,
+// and zero runs.
+std::vector<ValueId> MakeValues(uint32_t bits, uint64_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const uint64_t mask = LowMask(bits);
+  std::vector<ValueId> values(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    switch (rng() % 8) {
+      case 0:
+        values[i] = static_cast<ValueId>(mask);
+        break;
+      case 1:
+        values[i] = 0;
+        break;
+      default:
+        values[i] = static_cast<ValueId>(rng() & mask);
+    }
+  }
+  return values;
+}
+
+// Ranges covering: full buffer, empty, head/tail misalignment in every
+// residue class, and ranges ending near the buffer end (vector safe-limit
+// cutoff).
+std::vector<std::pair<uint64_t, uint64_t>> MakeRanges(uint64_t n,
+                                                      uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::pair<uint64_t, uint64_t>> ranges = {
+      {0, n}, {0, 0}, {n, n}, {n / 2, n / 2 + 1}, {n - 1, n}, {0, 1}};
+  for (uint64_t r = 0; r < 64; ++r) {
+    uint64_t a = rng() % (n + 1);
+    uint64_t b = rng() % (n + 1);
+    if (a > b) std::swap(a, b);
+    ranges.emplace_back(a, b);
+  }
+  // Every (from % 8, near-end) combination: the vector loop's scalar head
+  // runs 0..7 iterations and the tail is cut by the overread safe limit.
+  for (uint64_t h = 0; h < 8; ++h) {
+    for (uint64_t t = 0; t < 12 && h + t <= n; ++t) {
+      ranges.emplace_back(h, n - t);
+    }
+  }
+  return ranges;
+}
+
+class PackedSimdTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PackedSimdTest, MGetMatchesScalarOnAllTiers) {
+  const uint32_t bits = GetParam();
+  const uint64_t n = 3000;
+  PackedVector pv(bits);
+  for (ValueId v : MakeValues(bits, n, 17 * bits)) pv.Append(v);
+
+  constexpr uint32_t kCanary = 0xDEADBEEFu;
+  for (const auto& [from, to] : MakeRanges(n, 100 + bits)) {
+    std::vector<uint32_t> expect(to - from + 16, kCanary);
+    std::vector<uint32_t> got(to - from + 16, kCanary);
+    PackedMGetScalar(pv.words(), bits, from, to, expect.data());
+    for (const Tier& tier : AvailableTiers()) {
+      std::fill(got.begin(), got.end(), kCanary);
+      tier.kernels->mget[bits](pv.words(), from, to, got.data());
+      ASSERT_EQ(got, expect) << "tier=" << SimdLevelName(tier.level)
+                             << " bits=" << bits << " [" << from << ", " << to
+                             << ")";
+    }
+  }
+}
+
+TEST_P(PackedSimdTest, SearchKernelsMatchScalarOnAllTiers) {
+  const uint32_t bits = GetParam();
+  const uint64_t n = 3000;
+  const uint64_t mask = LowMask(bits);
+  const auto values = MakeValues(bits, n, 23 * bits);
+  PackedVector pv(bits);
+  for (ValueId v : values) pv.Append(v);
+
+  std::mt19937_64 rng(900 + bits);
+  const RowPos base = 1000000;
+  for (const auto& [from, to] : MakeRanges(n, 200 + bits)) {
+    // Eq: a value known to occur in range (when non-empty) and a random one.
+    std::vector<uint64_t> probes = {rng() & mask};
+    if (from < to) probes.push_back(values[from + rng() % (to - from)]);
+    for (uint64_t vid : probes) {
+      std::vector<RowPos> expect, got;
+      PackedSearchEqScalar(pv.words(), bits, from, to, vid, base, &expect);
+      for (const Tier& tier : AvailableTiers()) {
+        got.clear();
+        tier.kernels->search_eq[bits](pv.words(), from, to, vid, base, &got);
+        ASSERT_EQ(got, expect) << "eq tier=" << SimdLevelName(tier.level)
+                               << " bits=" << bits << " vid=" << vid << " ["
+                               << from << ", " << to << ")";
+      }
+    }
+
+    // Range: random band (sometimes empty, sometimes full-width).
+    uint64_t lo = rng() & mask;
+    uint64_t hi = rng() & mask;
+    if (lo > hi) std::swap(lo, hi);
+    std::vector<RowPos> expect, got;
+    PackedSearchRangeScalar(pv.words(), bits, from, to, lo, hi, base,
+                            &expect);
+    for (const Tier& tier : AvailableTiers()) {
+      got.clear();
+      tier.kernels->search_range[bits](pv.words(), from, to, lo, hi, base,
+                                       &got);
+      ASSERT_EQ(got, expect) << "range tier=" << SimdLevelName(tier.level)
+                             << " bits=" << bits << " [" << lo << ", " << hi
+                             << "]";
+    }
+
+    // In: random sorted set, including values present in the data.
+    std::vector<ValueId> vids;
+    for (int i = 0; i < 9; ++i) {
+      vids.push_back(static_cast<ValueId>(rng() & mask));
+    }
+    if (from < to) vids.push_back(values[from + rng() % (to - from)]);
+    std::sort(vids.begin(), vids.end());
+    vids.erase(std::unique(vids.begin(), vids.end()), vids.end());
+    expect.clear();
+    PackedSearchInScalar(pv.words(), bits, from, to, vids, base, &expect);
+    for (const Tier& tier : AvailableTiers()) {
+      got.clear();
+      tier.kernels->search_in[bits](pv.words(), from, to, vids, base, &got);
+      ASSERT_EQ(got, expect) << "in tier=" << SimdLevelName(tier.level)
+                             << " bits=" << bits;
+    }
+  }
+}
+
+// The paged data vector decodes single pages by pointing the kernels at a
+// chunk-aligned sub-buffer. Replay that shape: scan chunk suffixes so the
+// word pointer itself moves (the "page boundary" case).
+TEST_P(PackedSimdTest, ChunkAlignedSubBufferMatchesScalar) {
+  const uint32_t bits = GetParam();
+  const uint64_t n = 2048;  // 32 chunks
+  PackedVector pv(bits);
+  for (ValueId v : MakeValues(bits, n, 31 * bits)) pv.Append(v);
+
+  std::mt19937_64 rng(300 + bits);
+  for (uint64_t chunk : {uint64_t{1}, uint64_t{7}, uint64_t{30}}) {
+    const uint64_t* sub = pv.words() + chunk * ChunkWords(bits);
+    const uint64_t sub_n = n - chunk * kChunkValues;
+    for (int rep = 0; rep < 8; ++rep) {
+      uint64_t a = rng() % (sub_n + 1);
+      uint64_t b = rng() % (sub_n + 1);
+      if (a > b) std::swap(a, b);
+      std::vector<uint32_t> expect(b - a), got(b - a);
+      PackedMGetScalar(sub, bits, a, b, expect.data());
+      for (const Tier& tier : AvailableTiers()) {
+        tier.kernels->mget[bits](sub, a, b, got.data());
+        ASSERT_EQ(got, expect)
+            << "tier=" << SimdLevelName(tier.level) << " bits=" << bits
+            << " chunk=" << chunk << " [" << a << ", " << b << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, PackedSimdTest,
+                         ::testing::Range(1u, 33u),
+                         [](const ::testing::TestParamInfo<uint32_t>& info) {
+                           return "Bits" + std::to_string(info.param);
+                         });
+
+// Satellite regression: PackedGet at bits=31 — the width class whose
+// unaligned 8-byte window has the thinnest margin — must round-trip every
+// shift residue (31 is odd, so idx*31 mod 8 cycles through all residues and
+// idx*31 mod 64 crosses word boundaries in every alignment).
+TEST(PackedGetTest, TwoWordFallbackRoundTripsAtBits31) {
+  const uint32_t bits = 31;
+  const uint64_t n = 4096;
+  const auto values = MakeValues(bits, n, 424242);
+  PackedVector pv(bits);
+  for (ValueId v : values) pv.Append(v);
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(PackedGet(pv.words(), bits, i), values[i]) << "idx=" << i;
+    // And the aligned two-word decode the SIMD head/tail paths use.
+    ASSERT_EQ(detail::GetOneAligned<31>(pv.words(), i), values[i])
+        << "idx=" << i;
+  }
+}
+
+TEST(SimdDispatchTest, ForceScalarPinsScalarTier) {
+  const char* force = std::getenv("PAYG_FORCE_SCALAR");
+  if (force != nullptr && force[0] == '1') {
+    EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  } else {
+    // Whatever was picked must be a tier this process can actually run.
+    EXPECT_NE(KernelsFor(ActiveSimdLevel()), nullptr);
+  }
+  EXPECT_EQ(&ActiveKernels(), KernelsFor(ActiveSimdLevel()));
+}
+
+TEST(SimdDispatchTest, ScalarTierAlwaysPresent) {
+  const PackedKernels* k = KernelsFor(SimdLevel::kScalar);
+  ASSERT_NE(k, nullptr);
+  for (uint32_t bits = 1; bits <= 32; ++bits) {
+    EXPECT_NE(k->mget[bits], nullptr);
+    EXPECT_NE(k->search_eq[bits], nullptr);
+    EXPECT_NE(k->search_range[bits], nullptr);
+    EXPECT_NE(k->search_in[bits], nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace payg

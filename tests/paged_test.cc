@@ -5,6 +5,7 @@
 
 #include "buffer/resource_manager.h"
 #include "common/random.h"
+#include "exec/exec_context.h"
 #include "paged/fragment_factory.h"
 #include "paged/page_cache.h"
 #include "paged/paged_data_vector.h"
@@ -891,6 +892,128 @@ TEST_F(PagedTest, RebuildIndexNowIsIdempotent) {
   ASSERT_TRUE((*frag)->RebuildIndexNow().ok());
   ASSERT_TRUE((*frag)->RebuildIndexNow().ok());
   EXPECT_TRUE((*frag)->has_index());
+}
+
+// ---------------------------------------------------------------------------
+// Page readahead
+// ---------------------------------------------------------------------------
+
+TEST_F(PagedTest, PrefetchCountersReconcileAfterSequentialScan) {
+  auto vids = RandomVids(100000, 500, 71);
+  auto dv = PagedDataVector::Build(storage_.get(), rm_.get(),
+                                   PoolId::kPagedPool, "ra1", vids);
+  ASSERT_TRUE(dv.ok());
+  ASSERT_GT((*dv)->data_page_count(), 4u);
+
+  ExecContext ctx;
+  PagedDataVectorIterator it(dv->get(), &ctx);
+  it.set_readahead(2);
+  std::vector<ValueId> out;
+  ASSERT_TRUE(it.MGet(0, static_cast<RowPos>(vids.size()), &out).ok());
+  EXPECT_EQ(out, vids);  // readahead must not change results
+
+  PageCache* cache = (*dv)->cache();
+  cache->WaitForPrefetchIdle();
+  // Invariant: issued == hits + wasted + inflight, and after the idle wait
+  // inflight == 0.
+  EXPECT_GT(cache->prefetch_issued_count(), 0u);
+  EXPECT_EQ(cache->prefetch_issued_count(),
+            cache->prefetch_hit_count() + cache->prefetch_wasted_count() +
+                cache->prefetch_inflight_count());
+  // Sequential scan with an unconstrained pool: everything we asked for
+  // should have been used.
+  EXPECT_GT(cache->prefetch_hit_count(), 0u);
+  // The issue (not the background read) is attributed to the query.
+  EXPECT_EQ(ctx.stats.prefetch_issued.load(),
+            cache->prefetch_issued_count());
+  EXPECT_EQ(ctx.stats.prefetch_hits.load(), cache->prefetch_hit_count());
+}
+
+TEST_F(PagedTest, ReadaheadZeroIssuesNoPrefetch) {
+  auto vids = RandomVids(60000, 300, 72);
+  auto dv = PagedDataVector::Build(storage_.get(), rm_.get(),
+                                   PoolId::kPagedPool, "ra2", vids);
+  ASSERT_TRUE(dv.ok());
+  PagedDataVectorIterator it(dv->get());
+  it.set_readahead(0);
+  std::vector<ValueId> out;
+  ASSERT_TRUE(it.MGet(0, static_cast<RowPos>(vids.size()), &out).ok());
+  EXPECT_EQ(out, vids);
+  EXPECT_EQ((*dv)->cache()->prefetch_issued_count(), 0u);
+}
+
+TEST_F(PagedTest, PrefetchedPageCountsAsHitOnFirstTouch) {
+  auto vids = RandomVids(60000, 300, 73);
+  auto dv = PagedDataVector::Build(storage_.get(), rm_.get(),
+                                   PoolId::kPagedPool, "ra3", vids);
+  ASSERT_TRUE(dv.ok());
+  PageCache* cache = (*dv)->cache();
+
+  cache->Prefetch(1);
+  cache->WaitForPrefetchIdle();
+  EXPECT_TRUE(cache->IsLoaded(1));
+  EXPECT_EQ(cache->prefetch_issued_count(), 1u);
+  EXPECT_EQ(cache->prefetch_hit_count(), 0u);
+
+  auto ref = cache->GetPage(1);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(cache->prefetch_hit_count(), 1u);
+  ref->Release();
+
+  // Only the first touch is a prefetch hit; later pins are ordinary hits.
+  auto again = cache->GetPage(1);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(cache->prefetch_hit_count(), 1u);
+  again->Release();
+
+  // Re-prefetching a resident page is a no-op.
+  cache->Prefetch(1);
+  EXPECT_EQ(cache->prefetch_issued_count(), 1u);
+}
+
+TEST_F(PagedTest, UntouchedPrefetchCountsAsWastedOnDrop) {
+  auto vids = RandomVids(60000, 300, 74);
+  auto dv = PagedDataVector::Build(storage_.get(), rm_.get(),
+                                   PoolId::kPagedPool, "ra4", vids);
+  ASSERT_TRUE(dv.ok());
+  PageCache* cache = (*dv)->cache();
+
+  cache->Prefetch(1);
+  cache->Prefetch(2);
+  cache->WaitForPrefetchIdle();
+  (*dv)->Unload();
+  EXPECT_EQ(cache->prefetch_issued_count(), 2u);
+  EXPECT_EQ(cache->prefetch_wasted_count(), 2u);
+  EXPECT_EQ(cache->prefetch_issued_count(),
+            cache->prefetch_hit_count() + cache->prefetch_wasted_count() +
+                cache->prefetch_inflight_count());
+}
+
+TEST_F(PagedTest, IndexIteratorPrefetchesAcrossPostingPages) {
+  // One vid dominating the column makes its postinglist span several pages.
+  std::vector<ValueId> vids(120000, 3);
+  for (size_t i = 0; i < vids.size(); i += 100) {
+    vids[i] = static_cast<ValueId>(1 + (i / 100) % 2 * 4);
+  }
+  auto idx = PagedInvertedIndex::Build(storage_.get(), rm_.get(),
+                                       PoolId::kPagedPool, "rai", vids, 8);
+  ASSERT_TRUE(idx.ok());
+  PagedIndexIterator it(idx->get());
+  it.set_readahead(2);
+  std::vector<RowPos> rows;
+  ASSERT_TRUE(it.Lookup(3, &rows).ok());
+  std::vector<RowPos> expect;
+  for (RowPos r = 0; r < vids.size(); ++r) {
+    if (vids[r] == 3) expect.push_back(r);
+  }
+  EXPECT_EQ(rows, expect);
+
+  PageCache* cache = (*idx)->cache();
+  cache->WaitForPrefetchIdle();
+  EXPECT_GT(cache->prefetch_issued_count(), 0u);
+  EXPECT_EQ(cache->prefetch_issued_count(),
+            cache->prefetch_hit_count() + cache->prefetch_wasted_count() +
+                cache->prefetch_inflight_count());
 }
 
 TEST_F(PagedTest, ColdPoolPagesAreAccountedSeparately) {
