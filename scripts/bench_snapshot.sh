@@ -4,12 +4,17 @@
 #                     (google-benchmark JSON; names are <kernel>/<tier>/<bits>)
 #   BENCH_fig4.json — cold full-column scan, readahead off vs on at 1 ms
 #                     simulated page latency
+#   BENCH_exec_scaling.json — GetPage throughput at 1/2/4/8 client threads,
+#                     hot (resident) and cold (evicting) sweeps. The shard
+#                     count is pinned to 8 so the recorded configuration is
+#                     identical across hosts; the JSON's "cores" field says
+#                     how much physical parallelism backed the numbers.
 # Usage: scripts/bench_snapshot.sh [build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD="${1:-build}"
-cmake --build "$BUILD" -j --target bench_fig1_primitives bench_fig4_data_vector
+cmake --build "$BUILD" -j --target bench_fig1_primitives bench_fig4_data_vector bench_exec_scaling
 
 # fig1: the acceptance-relevant kernels (mget + search_eq) on every available
 # tier at every bit width. Widen or drop the filter for full sweeps
@@ -23,4 +28,8 @@ FILTER="${PAYG_FIG1_FILTER:-^(mget|search_eq)/}"
 PAYG_SCAN_ONLY=1 PAYG_BENCH_JSON=BENCH_fig4.json \
   "$BUILD"/bench/bench_fig4_data_vector
 
-echo "bench_snapshot.sh: wrote BENCH_fig1.json BENCH_fig4.json"
+PAYG_CACHE_SHARDS="${PAYG_CACHE_SHARDS:-8}" \
+  PAYG_BENCH_JSON=BENCH_exec_scaling.json \
+  "$BUILD"/bench/bench_exec_scaling
+
+echo "bench_snapshot.sh: wrote BENCH_fig1.json BENCH_fig4.json BENCH_exec_scaling.json"

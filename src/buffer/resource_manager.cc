@@ -8,7 +8,10 @@
 
 namespace payg {
 
+using buffer_detail::kDeadFlag;
+
 ResourceManager::ResourceManager() {
+  for (auto& pb : pool_bytes_) pb.store(0, std::memory_order_relaxed);
   auto& reg = obs::MetricsRegistry::Global();
   m_evict_reactive_ = reg.counter("rm.evictions.reactive");
   m_evict_proactive_ = reg.counter("rm.evictions.proactive");
@@ -25,15 +28,19 @@ ResourceManager::ResourceManager() {
   sweeper_ = std::thread([this] { BackgroundSweeper(); });
 }
 
-void ResourceManager::UpdateGaugesLocked() {
+void ResourceManager::UpdateGauges() {
   // Gauges show the level of *this* manager; with several stores in one
   // process the last writer wins, which is fine for the single-store
-  // benchmarks these feed. Counters above aggregate across managers.
-  m_bytes_total_->Set(static_cast<int64_t>(total_bytes_));
+  // benchmarks these feed. Counters aggregate across managers. Written from
+  // the atomic accounting without any lock — gauges are statistics.
+  m_bytes_total_->Set(
+      static_cast<int64_t>(total_bytes_.load(std::memory_order_relaxed)));
   for (int p = 0; p < kNumPools; ++p) {
-    m_bytes_pool_[p]->Set(static_cast<int64_t>(pool_bytes_[p]));
+    m_bytes_pool_[p]->Set(
+        static_cast<int64_t>(pool_bytes_[p].load(std::memory_order_relaxed)));
   }
-  m_resources_->Set(static_cast<int64_t>(entries_.size()));
+  m_resources_->Set(
+      static_cast<int64_t>(resource_count_.load(std::memory_order_relaxed)));
 }
 
 ResourceManager::~ResourceManager() {
@@ -48,68 +55,110 @@ ResourceManager::~ResourceManager() {
 ResourceId ResourceManager::Register(std::string label, uint64_t bytes,
                                      Disposition disposition, PoolId pool,
                                      EvictCallback on_evict) {
-  return RegisterInternal(std::move(label), bytes, disposition, pool,
-                          std::move(on_evict), /*initial_pins=*/0);
+  auto e = std::make_shared<Entry>();
+  e->label = std::move(label);
+  e->bytes = bytes;
+  e->disposition = disposition;
+  e->pool = pool;
+  e->on_evict = std::move(on_evict);
+  return RegisterInternal(std::move(e), /*initial_pins=*/0, nullptr);
 }
 
 ResourceId ResourceManager::RegisterPinned(std::string label, uint64_t bytes,
                                            Disposition disposition,
-                                           PoolId pool,
-                                           EvictCallback on_evict) {
-  return RegisterInternal(std::move(label), bytes, disposition, pool,
-                          std::move(on_evict), /*initial_pins=*/1);
+                                           PoolId pool, EvictCallback on_evict,
+                                           ResourceHandle* out_handle) {
+  auto e = std::make_shared<Entry>();
+  e->label = std::move(label);
+  e->bytes = bytes;
+  e->disposition = disposition;
+  e->pool = pool;
+  e->on_evict = std::move(on_evict);
+  return RegisterInternal(std::move(e), /*initial_pins=*/1, out_handle);
 }
 
-ResourceId ResourceManager::RegisterInternal(std::string label, uint64_t bytes,
-                                             Disposition disposition,
-                                             PoolId pool,
-                                             EvictCallback on_evict,
-                                             uint32_t initial_pins) {
-  ResourceId id = next_id_.fetch_add(1);
-  std::vector<EvictCallback> callbacks;
-  bool wake_sweeper = false;
+ResourceId ResourceManager::RegisterPinnedPage(
+    std::shared_ptr<const std::string> label_prefix, uint64_t label_id,
+    uint64_t bytes, Disposition disposition, PoolId pool,
+    EvictCallback on_evict, ResourceHandle* out_handle) {
+  auto e = std::make_shared<Entry>();
+  e->label_prefix = std::move(label_prefix);
+  e->label_id = label_id;
+  e->bytes = bytes;
+  e->disposition = disposition;
+  e->pool = pool;
+  e->on_evict = std::move(on_evict);
+  return RegisterInternal(std::move(e), /*initial_pins=*/1, out_handle);
+}
+
+ResourceId ResourceManager::RegisterInternal(ResourceHandle entry,
+                                             uint32_t initial_pins,
+                                             ResourceHandle* out_handle) {
+  const ResourceId id = next_id_.fetch_add(1);
+  const uint64_t stamp = clock_.fetch_add(1);
+  entry->id = id;
+  entry->last_touch = stamp;
+  entry->pin_state.store(initial_pins, std::memory_order_relaxed);
+  const uint64_t bytes = entry->bytes;
+  const auto pool_idx = static_cast<int>(entry->pool);
+  if (out_handle != nullptr) *out_handle = entry;
+
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    Entry e;
-    e.id = id;
-    e.label = std::move(label);
-    e.bytes = bytes;
-    e.disposition = disposition;
-    e.pool = pool;
-    e.last_touch = clock_.fetch_add(1);
-    e.pin_count = initial_pins;
-    e.on_evict = std::move(on_evict);
-    auto pool_idx = static_cast<int>(pool);
-    lru_[pool_idx].push_back(id);
-    e.lru_it = std::prev(lru_[pool_idx].end());
-    pool_bytes_[pool_idx] += bytes;
-    total_bytes_ += bytes;
-    entries_.emplace(id, std::move(e));
-    counters_.resource_count = entries_.size();
-
-    ReactiveEvictLocked(&callbacks);
-    UpdateGaugesLocked();
-
-    const Limits& lim = pool_limits_[pool_idx];
-    if (lim.upper != 0 && pool_bytes_[pool_idx] > lim.upper) {
-      wake_sweeper = true;
-    }
+    TableStripe& stripe = table_stripes_[id % kTableStripes];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.map.emplace(id, std::move(entry));
   }
-  for (auto& cb : callbacks) {
-    if (cb) cb();
+  pool_bytes_[pool_idx].fetch_add(bytes, std::memory_order_relaxed);
+  const uint64_t total =
+      total_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  resource_count_.fetch_add(1, std::memory_order_relaxed);
+  // The deferred LRU insert: the entry reaches its pool's list at the next
+  // flush, which every victim pass performs first.
+  RecordTouch(id, stamp);
+  UpdateGauges();
+
+  const uint64_t budget = global_budget_.load(std::memory_order_relaxed);
+  if (budget != 0 && total > budget) {
+    std::vector<EvictCallback> callbacks;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ReactiveEvictLocked(&callbacks);
+    }
+    for (auto& cb : callbacks) {
+      if (cb) cb();
+    }
   }
   // The proactive sweep is asynchronous by design: loading new pages is
   // never blocked on it (§5), so the pool may transiently exceed the upper
   // limit.
-  if (wake_sweeper) sweeper_cv_.notify_one();
+  const uint64_t upper =
+      pool_limits_[pool_idx].upper.load(std::memory_order_relaxed);
+  if (upper != 0 &&
+      pool_bytes_[pool_idx].load(std::memory_order_relaxed) > upper) {
+    sweeper_cv_.notify_one();
+  }
   return id;
 }
 
 bool ResourceManager::Unregister(ResourceId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return false;
-  RemoveEntryLocked(id, /*count_as_eviction=*/false, /*proactive=*/false);
+  ResourceHandle e = Find(id);
+  if (e == nullptr) return false;
+  // Winner of the dead flag owns the removal; a concurrent evictor's
+  // CAS(0 → dead) fails against either our flag or an outstanding pin.
+  const uint64_t prev =
+      e->pin_state.fetch_or(kDeadFlag, std::memory_order_acq_rel);
+  if (prev & kDeadFlag) return false;  // eviction got there first
+  EraseFromTable(id);
+  pool_bytes_[static_cast<int>(e->pool)].fetch_sub(e->bytes,
+                                                   std::memory_order_relaxed);
+  total_bytes_.fetch_sub(e->bytes, std::memory_order_relaxed);
+  resource_count_.fetch_sub(1, std::memory_order_relaxed);
+  // The LRU node (if the entry ever reached the list) stays behind; list
+  // surgery needs mu_ and this path must not take it. Victim walks skip and
+  // erase stale nodes; the sweeper prunes if they pile up without eviction
+  // pressure.
+  dead_lru_nodes_.fetch_add(1, std::memory_order_relaxed);
+  UpdateGauges();
   return true;
 }
 
@@ -119,35 +168,31 @@ void ResourceManager::Touch(ResourceId id) {
   RecordTouch(id, clock_.fetch_add(1));
 }
 
+void ResourceManager::Touch(const ResourceHandle& handle) {
+  RecordTouch(handle->id, clock_.fetch_add(1));
+}
+
 bool ResourceManager::Pin(ResourceId id) {
-  uint64_t stamp;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = entries_.find(id);
-    if (it == entries_.end()) return false;
-    Entry& e = it->second;
-    ++e.pin_count;
-    stamp = clock_.fetch_add(1);
-    e.last_touch = stamp;
-  }
-  // The recency splice is deferred like Touch, keeping the mu_ critical
-  // section to a hash lookup + counter bump on the hot pin path.
-  RecordTouch(id, stamp);
+  ResourceHandle e = Find(id);
+  if (e == nullptr) return false;
+  if (!TryPinHandle(e)) return false;
+  // The recency splice is deferred like Touch, keeping the pin path free of
+  // the main mutex.
+  RecordTouch(id, clock_.fetch_add(1));
   return true;
 }
 
+void ResourceManager::Unpin(ResourceId id) {
+  ResourceHandle e = Find(id);
+  if (e == nullptr) return;  // already evicted/unregistered: pin died with it
+  UnpinHandle(e);
+}
+
 void ResourceManager::RecordTouch(ResourceId id, uint64_t stamp) {
-  size_t pending;
-  {
-    TouchStripe& stripe = touch_stripes_[id % kTouchStripes];
-    std::lock_guard<std::mutex> lock(stripe.mu);
-    stripe.pending.emplace_back(id, stamp);
-    pending = pending_touches_.fetch_add(1, std::memory_order_relaxed) + 1;
-  }
-  if (pending >= kTouchFlushThreshold) {
-    std::lock_guard<std::mutex> lock(mu_);
-    FlushTouchesLocked();
-  }
+  TouchStripe& stripe = touch_stripes_[id % kTouchStripes];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  uint64_t& slot = stripe.pending[id];
+  if (stamp > slot) slot = stamp;
 }
 
 void ResourceManager::FlushTouchesLocked() {
@@ -159,39 +204,34 @@ void ResourceManager::FlushTouchesLocked() {
     stripe.pending.clear();
   }
   if (pending.empty()) return;
-  pending_touches_.fetch_sub(pending.size(), std::memory_order_relaxed);
   // Apply in stamp order so the lists end up exactly as if every Touch/Pin
-  // had spliced under mu_ at the moment it happened.
+  // had spliced under mu_ at the moment it happened (only the latest touch
+  // of an id affects its final position, and the buffer keeps exactly
+  // that).
   std::sort(pending.begin(), pending.end(),
             [](const std::pair<ResourceId, uint64_t>& a,
                const std::pair<ResourceId, uint64_t>& b) {
               return a.second < b.second;
             });
   for (const auto& [id, stamp] : pending) {
-    auto it = entries_.find(id);
-    if (it == entries_.end()) continue;  // evicted meanwhile; ids never reused
-    Entry& e = it->second;
-    if (stamp > e.last_touch) e.last_touch = stamp;
-    auto pool_idx = static_cast<int>(e.pool);
-    lru_[pool_idx].erase(e.lru_it);
+    ResourceHandle e = Find(id);  // mu_ → table stripe: allowed order
+    if (e == nullptr) continue;  // removed meanwhile; ids never reused
+    if (stamp > e->last_touch) e->last_touch = stamp;
+    auto pool_idx = static_cast<int>(e->pool);
+    if (e->in_lru) {
+      lru_[pool_idx].erase(e->lru_it);
+    }
     lru_[pool_idx].push_back(id);
-    e.lru_it = std::prev(lru_[pool_idx].end());
+    e->lru_it = std::prev(lru_[pool_idx].end());
+    e->in_lru = true;
   }
 }
 
-void ResourceManager::Unpin(ResourceId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return;
-  PAYG_ASSERT_MSG(it->second.pin_count > 0, "unpin without pin");
-  --it->second.pin_count;
-}
-
 void ResourceManager::SetGlobalBudget(uint64_t bytes) {
+  global_budget_.store(bytes, std::memory_order_relaxed);
   std::vector<EvictCallback> callbacks;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    global_budget_ = bytes;
     ReactiveEvictLocked(&callbacks);
   }
   for (auto& cb : callbacks) {
@@ -200,10 +240,9 @@ void ResourceManager::SetGlobalBudget(uint64_t bytes) {
 }
 
 void ResourceManager::SetPoolLimits(PoolId pool, Limits limits) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    pool_limits_[static_cast<int>(pool)] = limits;
-  }
+  auto& lim = pool_limits_[static_cast<int>(pool)];
+  lim.lower.store(limits.lower, std::memory_order_relaxed);
+  lim.upper.store(limits.upper, std::memory_order_relaxed);
   sweeper_cv_.notify_one();
 }
 
@@ -214,11 +253,16 @@ void ResourceManager::SweepNow() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     FlushTouchesLocked();
+    PruneDeadLruNodesLocked();
     for (int p = 0; p < kNumPools; ++p) {
-      const Limits& lim = pool_limits_[p];
-      if (lim.upper != 0 && pool_bytes_[p] > lim.upper) {
-        CollectPagedVictimsLocked(static_cast<PoolId>(p), lim.lower,
-                                  /*proactive=*/true, &callbacks);
+      const uint64_t upper =
+          pool_limits_[p].upper.load(std::memory_order_relaxed);
+      if (upper != 0 &&
+          pool_bytes_[p].load(std::memory_order_relaxed) > upper) {
+        CollectPagedVictimsLocked(
+            static_cast<PoolId>(p),
+            pool_limits_[p].lower.load(std::memory_order_relaxed),
+            /*proactive=*/true, &callbacks);
       }
     }
   }
@@ -229,36 +273,34 @@ void ResourceManager::SweepNow() {
 }
 
 ResourceManagerStats ResourceManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  ResourceManagerStats s = counters_;
-  s.total_bytes = total_bytes_;
-  for (int p = 0; p < kNumPools; ++p) s.pool_bytes[p] = pool_bytes_[p];
-  s.resource_count = entries_.size();
+  ResourceManagerStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = counters_;
+  }
+  s.total_bytes = total_bytes_.load(std::memory_order_relaxed);
+  for (int p = 0; p < kNumPools; ++p) {
+    s.pool_bytes[p] = pool_bytes_[p].load(std::memory_order_relaxed);
+  }
+  s.resource_count = resource_count_.load(std::memory_order_relaxed);
   return s;
 }
 
-uint64_t ResourceManager::total_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return total_bytes_;
-}
-
-uint64_t ResourceManager::pool_bytes(PoolId pool) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return pool_bytes_[static_cast<int>(pool)];
-}
-
-void ResourceManager::RemoveEntryLocked(ResourceId id, bool count_as_eviction,
-                                        bool proactive) {
-  auto it = entries_.find(id);
-  PAYG_ASSERT(it != entries_.end());
-  Entry& e = it->second;
-  auto pool_idx = static_cast<int>(e.pool);
-  lru_[pool_idx].erase(e.lru_it);
-  pool_bytes_[pool_idx] -= e.bytes;
-  total_bytes_ -= e.bytes;
+void ResourceManager::FinishRemovalLocked(const ResourceHandle& e,
+                                          bool count_as_eviction,
+                                          bool proactive) {
+  auto pool_idx = static_cast<int>(e->pool);
+  if (e->in_lru) {
+    lru_[pool_idx].erase(e->lru_it);
+    e->in_lru = false;
+  }
+  EraseFromTable(e->id);  // mu_ → table stripe: allowed order
+  pool_bytes_[pool_idx].fetch_sub(e->bytes, std::memory_order_relaxed);
+  total_bytes_.fetch_sub(e->bytes, std::memory_order_relaxed);
+  resource_count_.fetch_sub(1, std::memory_order_relaxed);
   if (count_as_eviction) {
-    counters_.evicted_bytes += e.bytes;
-    m_evicted_bytes_->Add(e.bytes);
+    counters_.evicted_bytes += e->bytes;
+    m_evicted_bytes_->Add(e->bytes);
     if (proactive) {
       ++counters_.proactive_evictions;
       m_evict_proactive_->Inc();
@@ -267,9 +309,7 @@ void ResourceManager::RemoveEntryLocked(ResourceId id, bool count_as_eviction,
       m_evict_reactive_->Inc();
     }
   }
-  entries_.erase(it);
-  counters_.resource_count = entries_.size();
-  UpdateGaugesLocked();
+  UpdateGauges();
 }
 
 void ResourceManager::CollectPagedVictimsLocked(
@@ -279,15 +319,31 @@ void ResourceManager::CollectPagedVictimsLocked(
   // Plain LRU front-to-back; disposition weight deliberately plays no role
   // for paged-attribute resources (§5).
   auto it = lru_[pool_idx].begin();
-  while (it != lru_[pool_idx].end() && pool_bytes_[pool_idx] > target) {
-    ResourceId id = *it;
-    ++it;  // advance before possibly erasing
-    Entry& e = entries_.at(id);
-    if (e.pin_count > 0 || e.disposition == Disposition::kNonSwappable) {
+  while (it != lru_[pool_idx].end() &&
+         pool_bytes_[pool_idx].load(std::memory_order_relaxed) > target) {
+    const ResourceId id = *it;
+    ResourceHandle e = Find(id);
+    if (e == nullptr) {  // unregistered; the node outlived the entry
+      it = lru_[pool_idx].erase(it);
       continue;
     }
-    callbacks->push_back(std::move(e.on_evict));
-    RemoveEntryLocked(id, /*count_as_eviction=*/true, proactive);
+    if (e->disposition == Disposition::kNonSwappable) {
+      ++it;
+      continue;
+    }
+    // Only an unpinned, live entry may become a victim, and winning the
+    // dead flag is what makes us the victim's sole remover: a concurrent
+    // TryPin fails against the flag, a concurrent pin beats our CAS.
+    uint64_t expected = 0;
+    if (!e->pin_state.compare_exchange_strong(expected, kDeadFlag,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+      ++it;  // pinned right now (or racing Unregister won)
+      continue;
+    }
+    callbacks->push_back(std::move(e->on_evict));
+    ++it;  // advance before FinishRemovalLocked erases the node
+    FinishRemovalLocked(e, /*count_as_eviction=*/true, proactive);
   }
 }
 
@@ -296,47 +352,86 @@ void ResourceManager::CollectWeightedVictimsLocked(
   // Rank unpinned, swappable general-pool resources by descending t/w.
   struct Candidate {
     double score;
-    ResourceId id;
+    ResourceHandle entry;
   };
   const uint64_t now = clock_.load();
   std::vector<Candidate> candidates;
-  for (ResourceId id : lru_[static_cast<int>(PoolId::kGeneral)]) {
-    const Entry& e = entries_.at(id);
-    if (e.pin_count > 0 || e.disposition == Disposition::kNonSwappable) {
+  auto& lru = lru_[static_cast<int>(PoolId::kGeneral)];
+  for (auto it = lru.begin(); it != lru.end();) {
+    ResourceHandle e = Find(*it);
+    if (e == nullptr) {
+      it = lru.erase(it);
       continue;
     }
-    double t = static_cast<double>(now - e.last_touch);
-    candidates.push_back({t / DispositionWeight(e.disposition), id});
+    const uint64_t state = e->pin_state.load(std::memory_order_acquire);
+    if (state == 0 && e->disposition != Disposition::kNonSwappable) {
+      double t = static_cast<double>(now - e->last_touch);
+      candidates.push_back({t / DispositionWeight(e->disposition),
+                            std::move(e)});
+    }
+    ++it;
   }
   std::sort(candidates.begin(), candidates.end(),
             [](const Candidate& a, const Candidate& b) {
               return a.score > b.score;
             });
-  for (const Candidate& c : candidates) {
-    if (total_bytes_ <= target) break;
-    Entry& e = entries_.at(c.id);
-    callbacks->push_back(std::move(e.on_evict));
-    RemoveEntryLocked(c.id, /*count_as_eviction=*/true, /*proactive=*/false);
+  for (Candidate& c : candidates) {
+    if (total_bytes_.load(std::memory_order_relaxed) <= target) break;
+    uint64_t expected = 0;
+    if (!c.entry->pin_state.compare_exchange_strong(
+            expected, kDeadFlag, std::memory_order_acq_rel,
+            std::memory_order_acquire)) {
+      continue;  // pinned (or removed) since the scan above
+    }
+    callbacks->push_back(std::move(c.entry->on_evict));
+    FinishRemovalLocked(c.entry, /*count_as_eviction=*/true,
+                        /*proactive=*/false);
   }
 }
 
 void ResourceManager::ReactiveEvictLocked(
     std::vector<EvictCallback>* callbacks) {
-  if (global_budget_ == 0 || total_bytes_ <= global_budget_) return;
+  const uint64_t budget = global_budget_.load(std::memory_order_relaxed);
+  if (budget == 0 || total_bytes_.load(std::memory_order_relaxed) <= budget) {
+    return;
+  }
   // Deferred touches must land before picking victims or the LRU order
   // would ignore recent activity.
   FlushTouchesLocked();
   // Low-memory situation: paged-attribute resources are unloaded first, down
   // to each pool's lower limit, before touching anything else (§5).
   for (int p = 0; p < kNumPools; ++p) {
-    if (total_bytes_ <= global_budget_) break;
+    if (total_bytes_.load(std::memory_order_relaxed) <= budget) break;
     if (p == static_cast<int>(PoolId::kGeneral)) continue;
     // These count as reactive, not proactive: budget pressure, not sweeper.
-    CollectPagedVictimsLocked(static_cast<PoolId>(p), pool_limits_[p].lower,
-                              /*proactive=*/false, callbacks);
+    CollectPagedVictimsLocked(
+        static_cast<PoolId>(p),
+        pool_limits_[p].lower.load(std::memory_order_relaxed),
+        /*proactive=*/false, callbacks);
   }
-  if (total_bytes_ > global_budget_) {
-    CollectWeightedVictimsLocked(global_budget_, callbacks);
+  if (total_bytes_.load(std::memory_order_relaxed) > budget) {
+    CollectWeightedVictimsLocked(budget, callbacks);
+  }
+}
+
+void ResourceManager::PruneDeadLruNodesLocked() {
+  // dead_lru_nodes_ counts unregisters since the last prune — an upper
+  // bound on stale nodes (some never reached a list, eviction walks erase
+  // others in passing), so the reset below can only make pruning *less*
+  // frequent, never let stale nodes grow unboundedly.
+  if (dead_lru_nodes_.load(std::memory_order_relaxed) <
+      kDeadLruPruneThreshold) {
+    return;
+  }
+  dead_lru_nodes_.store(0, std::memory_order_relaxed);
+  for (auto& lru : lru_) {
+    for (auto it = lru.begin(); it != lru.end();) {
+      if (Find(*it) == nullptr) {
+        it = lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
 }
 
@@ -348,11 +443,16 @@ void ResourceManager::BackgroundSweeper() {
     const auto sweep_start = std::chrono::steady_clock::now();
     std::vector<EvictCallback> callbacks;
     FlushTouchesLocked();
+    PruneDeadLruNodesLocked();
     for (int p = 0; p < kNumPools; ++p) {
-      const Limits& lim = pool_limits_[p];
-      if (lim.upper != 0 && pool_bytes_[p] > lim.upper) {
-        CollectPagedVictimsLocked(static_cast<PoolId>(p), lim.lower,
-                                  /*proactive=*/true, &callbacks);
+      const uint64_t upper =
+          pool_limits_[p].upper.load(std::memory_order_relaxed);
+      if (upper != 0 &&
+          pool_bytes_[p].load(std::memory_order_relaxed) > upper) {
+        CollectPagedVictimsLocked(
+            static_cast<PoolId>(p),
+            pool_limits_[p].lower.load(std::memory_order_relaxed),
+            /*proactive=*/true, &callbacks);
       }
     }
     if (!callbacks.empty()) {

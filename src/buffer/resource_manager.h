@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "buffer/disposition.h"
+#include "common/macros.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 
@@ -27,6 +29,47 @@ inline constexpr ResourceId kInvalidResourceId = 0;
 // must only release its own memory and must not call back into the manager
 // for this id.
 using EvictCallback = std::function<void()>;
+
+namespace buffer_detail {
+
+// Dead flag of Entry::pin_state: set exactly once, by whoever removes the
+// resource (evictor or voluntary Unregister). The low 63 bits count pins.
+inline constexpr uint64_t kDeadFlag = 1ull << 63;
+inline constexpr uint64_t kPinCountMask = kDeadFlag - 1;
+
+// One registered resource. Shared ownership: the striped table holds one
+// reference, every outstanding pin handle holds another, so a pin can be
+// released (atomically, without any lock) even after the registration is
+// gone.
+//
+// Field protection: `pin_state` is the lock-free pin/liveness word.
+// `last_touch`, `lru_it` and `in_lru` are guarded by the manager's main
+// mutex. Everything else is written once before the entry is published and
+// read-only afterwards, except `on_evict`, which only the dead-flag winner
+// moves out.
+struct Entry {
+  ResourceId id = kInvalidResourceId;
+  std::string label;  // plain registrations
+  // Paged registrations: label is conceptually `*label_prefix + "#" +
+  // label_id`, kept unformatted so the page-load path never allocates.
+  std::shared_ptr<const std::string> label_prefix;
+  uint64_t label_id = 0;
+  uint64_t bytes = 0;
+  Disposition disposition = Disposition::kTemporary;
+  PoolId pool = PoolId::kGeneral;
+  std::atomic<uint64_t> pin_state{0};
+  uint64_t last_touch = 0;
+  EvictCallback on_evict;
+  std::list<ResourceId>::iterator lru_it;
+  bool in_lru = false;
+};
+
+}  // namespace buffer_detail
+
+// Opaque reference to a registered resource. Pinning through a handle is a
+// pure CAS loop on the entry's pin word — no mutex, no hash lookup — which
+// is what lets the page-cache hit path scale with threads.
+using ResourceHandle = std::shared_ptr<buffer_detail::Entry>;
 
 // Snapshot of accounting counters.
 struct ResourceManagerStats {
@@ -53,6 +96,22 @@ struct ResourceManagerStats {
 //
 // Pinned resources (pin_count > 0) and kNonSwappable resources are never
 // evicted.
+//
+// Concurrency layout (hot to cold):
+//  * Pin/unpin through a ResourceHandle: lock-free CAS on the entry's pin
+//    word. An entry is removed by CAS-ing the word from 0 to the dead flag,
+//    so TryPin fails cleanly against a concurrently-chosen victim and a
+//    victim is never chosen while pinned.
+//  * Register/Unregister: the id→entry table is striped; registration and
+//    voluntary release take one stripe mutex plus atomic byte counters —
+//    never the main mutex (unless registration pushes the budget over and
+//    has to run reactive eviction).
+//  * Touch: recorded in striped pending buffers (latest stamp per id) and
+//    applied to the LRU lists under the main mutex only right before victim
+//    selection.
+//  * Victim selection, LRU lists, eviction counters: main mutex.
+// Lock order: mu_ → table stripe; mu_ → touch stripe. No path holds a
+// stripe mutex while acquiring mu_.
 class ResourceManager {
  public:
   struct Limits {
@@ -74,26 +133,70 @@ class ResourceManager {
 
   // Registers a resource that is already pinned once (pin_count starts at
   // 1), so it can never be evicted between registration and the caller's
-  // first pin. The caller owns one Unpin.
+  // first pin. The caller owns one Unpin. When `out_handle` is non-null it
+  // receives the lock-free pin handle.
   ResourceId RegisterPinned(std::string label, uint64_t bytes,
                             Disposition disposition, PoolId pool,
-                            EvictCallback on_evict);
+                            EvictCallback on_evict,
+                            ResourceHandle* out_handle = nullptr);
+
+  // RegisterPinned for a page of a paged structure: the label is
+  // `*label_prefix + "#" + label_id`, stored unformatted, so this path
+  // performs no string allocation (the prefix is shared by every page of
+  // one chain).
+  ResourceId RegisterPinnedPage(std::shared_ptr<const std::string> label_prefix,
+                                uint64_t label_id, uint64_t bytes,
+                                Disposition disposition, PoolId pool,
+                                EvictCallback on_evict,
+                                ResourceHandle* out_handle = nullptr);
 
   // Removes a resource without invoking its eviction callback (the owner is
   // releasing it voluntarily). Returns false if the id is unknown (already
-  // evicted) — callers use this to detect eviction races.
+  // evicted) — callers use this to detect eviction races. Takes only the
+  // entry's table stripe, never the main mutex.
   bool Unregister(ResourceId id);
 
   // Marks the resource recently used. No-op if already evicted. The LRU
   // reordering is deferred: the touch is recorded in a striped pending
-  // buffer (no contention on the main mutex) and applied — in timestamp
-  // order — before any victim selection.
+  // buffer (latest stamp per id, no contention on the main mutex) and
+  // applied — in timestamp order — before any victim selection.
   void Touch(ResourceId id);
+  void Touch(const ResourceHandle& handle);
 
   // Pins the resource against eviction. Returns false if the resource no
   // longer exists. Each successful Pin must be matched by Unpin.
   bool Pin(ResourceId id);
   void Unpin(ResourceId id);
+
+  // Resolves the lock-free pin handle of a live resource (one stripe
+  // lookup); null if the id is unknown. Owners of long-lived registrations
+  // resolve once and pin through the handle afterwards.
+  ResourceHandle FindHandle(ResourceId id) const { return Find(id); }
+
+  // Lock-free pin through a handle: CAS loop on the entry's pin word. Fails
+  // iff the entry has been removed (evicted or unregistered). Does NOT
+  // record a recency touch — hot paths that want one call Touch(handle).
+  static bool TryPinHandle(const ResourceHandle& handle) {
+    uint64_t cur = handle->pin_state.load(std::memory_order_acquire);
+    while (true) {
+      if (cur & buffer_detail::kDeadFlag) return false;
+      if (handle->pin_state.compare_exchange_weak(
+              cur, cur + 1, std::memory_order_acq_rel,
+              std::memory_order_acquire)) {
+        return true;
+      }
+    }
+  }
+
+  // Lock-free unpin. Safe after the registration is gone: the handle keeps
+  // the entry alive and the count bits are independent of the dead flag.
+  static void UnpinHandle(const ResourceHandle& handle) {
+    const uint64_t prev =
+        handle->pin_state.fetch_sub(1, std::memory_order_release);
+    PAYG_ASSERT_MSG((prev & buffer_detail::kPinCountMask) != 0,
+                    "unpin without pin");
+    (void)prev;
+  }
 
   // Global memory budget in bytes; 0 = unlimited. Triggers reactive
   // eviction immediately if the new budget is already exceeded.
@@ -108,22 +211,64 @@ class ResourceManager {
   void SweepNow();
 
   ResourceManagerStats stats() const;
-  uint64_t total_bytes() const;
-  uint64_t pool_bytes(PoolId pool) const;
+  uint64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t pool_bytes(PoolId pool) const {
+    return pool_bytes_[static_cast<int>(pool)].load(std::memory_order_relaxed);
+  }
 
  private:
-  struct Entry {
-    ResourceId id = kInvalidResourceId;
-    std::string label;
-    uint64_t bytes = 0;
-    Disposition disposition = Disposition::kTemporary;
-    PoolId pool = PoolId::kGeneral;
-    uint64_t last_touch = 0;
-    uint32_t pin_count = 0;
-    EvictCallback on_evict;
-    std::list<ResourceId>::iterator lru_it;  // position in pool LRU list
+  using Entry = buffer_detail::Entry;
+
+  // Striped id→entry table: the miss path (register/unregister) contends
+  // only on one stripe.
+  static constexpr int kTableStripes = 16;
+  struct TableStripe {
+    mutable std::mutex mu;
+    std::unordered_map<ResourceId, ResourceHandle> map;
   };
 
+  // Hot-path touch buffering. Only the latest stamp per id matters for the
+  // final LRU order (every touch moves the id to the back), so the buffer
+  // is a per-stripe map and its size is bounded by the number of live ids.
+  static constexpr int kTouchStripes = 16;
+  struct TouchStripe {
+    std::mutex mu;
+    std::unordered_map<ResourceId, uint64_t> pending;  // id → latest stamp
+  };
+
+  ResourceHandle Find(ResourceId id) const {
+    const TableStripe& stripe = table_stripes_[id % kTableStripes];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.map.find(id);
+    return it == stripe.map.end() ? nullptr : it->second;
+  }
+  void EraseFromTable(ResourceId id) {
+    TableStripe& stripe = table_stripes_[id % kTableStripes];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.map.erase(id);
+  }
+
+  // Publishes a fully-populated entry (label fields set by the caller):
+  // assigns the id, inserts into the table stripe, records the deferred LRU
+  // insert, and runs reactive eviction if the new bytes push the total over
+  // budget.
+  ResourceId RegisterInternal(ResourceHandle entry, uint32_t initial_pins,
+                              ResourceHandle* out_handle);
+  // Appends one (id, stamp) touch to a stripe. Never takes the main mutex.
+  void RecordTouch(ResourceId id, uint64_t stamp);
+  // Drains every stripe and applies the touches in stamp order (so the LRU
+  // lists end up exactly as if each Touch had spliced immediately). Also
+  // performs the deferred *insertion* of newly registered entries into
+  // their LRU list. Must run before any victim selection; stale ids
+  // (already removed) are skipped — resource ids are never reused.
+  void FlushTouchesLocked();
+  // Removes a dead-flagged entry's accounting (bytes, table, LRU node if
+  // still linked) and bumps eviction counters when asked. The caller has
+  // already won the dead flag.
+  void FinishRemovalLocked(const ResourceHandle& e, bool count_as_eviction,
+                           bool proactive);
   // Collects victims (under lock) until pool usage <= target, plain LRU.
   // `proactive` only labels the eviction counters (sweeper vs. budget
   // pressure).
@@ -132,46 +277,43 @@ class ResourceManager {
   // Collects general-pool victims by descending t/w until total <= target.
   void CollectWeightedVictimsLocked(uint64_t target,
                                     std::vector<EvictCallback>* callbacks);
-  ResourceId RegisterInternal(std::string label, uint64_t bytes,
-                              Disposition disposition, PoolId pool,
-                              EvictCallback on_evict, uint32_t initial_pins);
-  // Appends one (id, stamp) touch to a stripe; flushes under mu_ once the
-  // pending count crosses the threshold. Never called with mu_ held.
-  void RecordTouch(ResourceId id, uint64_t stamp);
-  // Drains every stripe and applies the touches in stamp order (so the LRU
-  // lists end up exactly as if each Touch had spliced immediately). Must run
-  // before any victim selection; stale ids (already evicted) are skipped —
-  // resource ids are never reused.
-  void FlushTouchesLocked();
-  void RemoveEntryLocked(ResourceId id, bool count_as_eviction,
-                         bool proactive);
   void ReactiveEvictLocked(std::vector<EvictCallback>* callbacks);
+  // Drops LRU nodes whose entry is gone (Unregister defers this cleanup).
+  void PruneDeadLruNodesLocked();
   void BackgroundSweeper();
   // Pushes total/pool byte levels and the resource count into the registry
-  // gauges ("rm.bytes.*", "rm.resources").
-  void UpdateGaugesLocked();
+  // gauges ("rm.bytes.*", "rm.resources"). Gauges are statistics: written
+  // from atomic counters without holding any lock.
+  void UpdateGauges();
 
-  // Hot-path touch buffering. Lock order: mu_ before stripe mutex; the
-  // record path takes only the stripe mutex.
-  static constexpr int kTouchStripes = 8;
-  static constexpr size_t kTouchFlushThreshold = 64;
-  struct TouchStripe {
-    std::mutex mu;
-    std::vector<std::pair<ResourceId, uint64_t>> pending;  // (id, stamp)
-  };
+  TableStripe table_stripes_[kTableStripes];
   TouchStripe touch_stripes_[kTouchStripes];
-  std::atomic<size_t> pending_touches_{0};
+
+  // Byte/count accounting: atomics, so the register/unregister path needs
+  // no lock and the budget check is one relaxed load.
+  std::atomic<uint64_t> total_bytes_{0};
+  std::atomic<uint64_t> pool_bytes_[kNumPools];
+  std::atomic<uint64_t> resource_count_{0};
+  std::atomic<uint64_t> global_budget_{0};
+  struct AtomicLimits {
+    std::atomic<uint64_t> lower{0};
+    std::atomic<uint64_t> upper{0};
+  };
+  AtomicLimits pool_limits_[kNumPools];
+  // Unregister leaves its LRU node behind (list surgery needs mu_).
+  // Counts unregisters since the last prune — an upper bound on stale
+  // nodes; the sweeper prunes once enough accumulate.
+  std::atomic<uint64_t> dead_lru_nodes_{0};
+  static constexpr uint64_t kDeadLruPruneThreshold = 1024;
 
   mutable std::mutex mu_;
   std::condition_variable sweeper_cv_;
-  std::unordered_map<ResourceId, Entry> entries_;
-  // Per-pool LRU lists; front = least recently used.
+  // Per-pool LRU lists; front = least recently used. Membership lags
+  // registration (applied at flush) and removal (stale nodes pruned during
+  // walks); victim passes always flush first, so every live entry is
+  // visible to eviction.
   std::list<ResourceId> lru_[kNumPools];
-  uint64_t pool_bytes_[kNumPools] = {0, 0, 0};
-  uint64_t total_bytes_ = 0;
-  uint64_t global_budget_ = 0;
-  Limits pool_limits_[kNumPools];
-  ResourceManagerStats counters_;
+  ResourceManagerStats counters_;  // eviction counters; guarded by mu_
   std::atomic<ResourceId> next_id_{1};
   std::atomic<uint64_t> clock_{1};
   bool shutting_down_ = false;
@@ -188,15 +330,28 @@ class ResourceManager {
 };
 
 // RAII pin. Obtained via PinnedResource::TryPin; unpins on destruction.
+// Holds the resource's handle, so release is lock-free and remains safe
+// after the registration is gone.
 class PinnedResource {
  public:
   PinnedResource() = default;
 
   static PinnedResource TryPin(ResourceManager* rm, ResourceId id) {
     PinnedResource p;
-    if (rm != nullptr && rm->Pin(id)) {
-      p.rm_ = rm;
-      p.id_ = id;
+    if (rm == nullptr) return p;
+    ResourceHandle h = rm->FindHandle(id);
+    if (h != nullptr && ResourceManager::TryPinHandle(h)) {
+      rm->Touch(h);  // pins count as recency, as they always have
+      p.handle_ = std::move(h);
+    }
+    return p;
+  }
+
+  // Lock-free variant for callers that already hold the handle.
+  static PinnedResource TryPin(ResourceHandle handle) {
+    PinnedResource p;
+    if (handle != nullptr && ResourceManager::TryPinHandle(handle)) {
+      p.handle_ = std::move(handle);
     }
     return p;
   }
@@ -205,8 +360,13 @@ class PinnedResource {
   // pinning again.
   static PinnedResource Adopt(ResourceManager* rm, ResourceId id) {
     PinnedResource p;
-    p.rm_ = rm;
-    p.id_ = id;
+    p.handle_ = rm->FindHandle(id);
+    PAYG_ASSERT(p.handle_ != nullptr);
+    return p;
+  }
+  static PinnedResource Adopt(ResourceHandle handle) {
+    PinnedResource p;
+    p.handle_ = std::move(handle);
     return p;
   }
 
@@ -214,10 +374,7 @@ class PinnedResource {
   PinnedResource& operator=(PinnedResource&& other) noexcept {
     if (this == &other) return *this;  // self-move must not drop the pin
     Release();
-    rm_ = other.rm_;
-    id_ = other.id_;
-    other.rm_ = nullptr;
-    other.id_ = kInvalidResourceId;
+    handle_ = std::move(other.handle_);
     return *this;
   }
   PinnedResource(const PinnedResource&) = delete;
@@ -225,20 +382,20 @@ class PinnedResource {
 
   ~PinnedResource() { Release(); }
 
-  bool valid() const { return rm_ != nullptr; }
-  ResourceId id() const { return id_; }
+  bool valid() const { return handle_ != nullptr; }
+  ResourceId id() const {
+    return handle_ == nullptr ? kInvalidResourceId : handle_->id;
+  }
 
   void Release() {
-    if (rm_ != nullptr) {
-      rm_->Unpin(id_);
-      rm_ = nullptr;
-      id_ = kInvalidResourceId;
+    if (handle_ != nullptr) {
+      ResourceManager::UnpinHandle(handle_);
+      handle_.reset();
     }
   }
 
  private:
-  ResourceManager* rm_ = nullptr;
-  ResourceId id_ = kInvalidResourceId;
+  ResourceHandle handle_;
 };
 
 }  // namespace payg

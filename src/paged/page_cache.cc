@@ -1,26 +1,97 @@
 #include "paged/page_cache.h"
 
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
 #include "exec/exec_context.h"
 #include "exec/io_pool.h"
 
 namespace payg {
 
+namespace {
+
+// Strict decimal env parsing: unset, empty or malformed (trailing garbage,
+// no digits, overflow) falls back to `fallback`; well-formed values are
+// clamped to [min, max].
+long ParseEnvLong(const char* name, long min, long max, long fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(env, &end, 10);
+  if (errno != 0 || end == env || *end != '\0') return fallback;
+  return std::clamp(v, min, max);
+}
+
+constexpr uint32_t kMaxCacheShards = 256;
+
+uint32_t NormalizeShardCount(uint32_t requested) {
+  const uint32_t clamped =
+      std::clamp<uint32_t>(requested, 1, kMaxCacheShards);
+  return std::bit_ceil(clamped);
+}
+
+}  // namespace
+
+PageCache::PageCache(PageFile* file, ResourceManager* rm, PoolId pool,
+                     std::string label, uint32_t shard_count)
+    : file_(file),
+      rm_(rm),
+      pool_(pool),
+      label_prefix_(std::make_shared<const std::string>(std::move(label))) {
+  const uint32_t shards =
+      shard_count == 0 ? DefaultCacheShards() : NormalizeShardCount(shard_count);
+  shard_mask_ = shards - 1;
+  shards_ = std::make_unique<Shard[]>(shards);
+  auto& reg = obs::MetricsRegistry::Global();
+  m_hits_ = reg.counter("cache.hits");
+  m_misses_ = reg.counter("cache.misses");
+  m_pin_waits_ = reg.counter("cache.pin_waits");
+  m_prefetch_issued_ = reg.counter("cache.prefetch_issued");
+  m_prefetch_hits_ = reg.counter("cache.prefetch_hits");
+  m_prefetch_wasted_ = reg.counter("cache.prefetch_wasted");
+  m_lock_wait_us_ = reg.histogram("cache.lock_wait");
+  for (uint32_t k = 0; k < shards; ++k) {
+    shards_[k].occupancy =
+        reg.gauge("cache.shard" + std::to_string(k) + ".pages");
+  }
+}
+
+std::unique_lock<std::mutex> PageCache::LockShard(const Shard& shard) const {
+  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+  if (lock.owns_lock()) return lock;
+  const auto t0 = std::chrono::steady_clock::now();
+  lock.lock();
+  const auto waited_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  m_lock_wait_us_->Record(static_cast<uint64_t>(waited_us));
+  return lock;
+}
+
 Result<PageRef> PageCache::GetPage(LogicalPageNo lpn, ExecContext* ctx) {
   if (ctx != nullptr) {
     PAYG_RETURN_IF_ERROR(ctx->CheckDeadline());
   }
+  Shard& shard = ShardFor(lpn);
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock = LockShard(shard);
     // If a background prefetch of this very page is in flight, wait for it
     // rather than paying a duplicate physical read — this wait (bounded by
     // one page read) is where readahead turns latency into overlap.
-    inflight_cv_.wait(lock, [&] { return inflight_.count(lpn) == 0; });
-    auto it = slots_.find(lpn);
-    if (it != slots_.end()) {
-      PinnedResource pin = PinnedResource::TryPin(rm_, it->second.rid);
+    shard.inflight_cv.wait(lock,
+                           [&] { return shard.inflight.count(lpn) == 0; });
+    auto it = shard.slots.find(lpn);
+    if (it != shard.slots.end()) {
+      PinnedResource pin = PinnedResource::TryPin(it->second.handle);
       if (pin.valid()) {
+        // Recency touch goes to a striped pending buffer; holding the shard
+        // mutex over it is safe (no path locks a touch stripe first).
+        rm_->Touch(it->second.handle);
         if (it->second.prefetched) {
           it->second.prefetched = false;
           prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -38,11 +109,12 @@ Result<PageRef> PageCache::GetPage(LogicalPageNo lpn, ExecContext* ctx) {
       pin_waits_.fetch_add(1, std::memory_order_relaxed);
       m_pin_waits_->Inc();
       CountWastedLocked(it->second);
-      slots_.erase(it);
+      shard.occupancy->Add(-1);
+      shard.slots.erase(it);
     }
   }
 
-  // Load outside the cache lock: the (possibly simulated-latency) read must
+  // Load outside the shard lock: the (possibly simulated-latency) read must
   // not block concurrent eviction callbacks.
   auto page = std::make_shared<Page>(file_->page_size());
   PAYG_RETURN_IF_ERROR(file_->ReadPage(lpn, page.get(), ctx));
@@ -52,21 +124,22 @@ Result<PageRef> PageCache::GetPage(LogicalPageNo lpn, ExecContext* ctx) {
   CountPagePinned(ctx);
 
   const uint64_t gen = next_generation_.fetch_add(1);
-  ResourceId rid = rm_->RegisterPinned(
-      label_ + "#" + std::to_string(lpn), file_->page_size(),
-      Disposition::kPagedAttribute, pool_,
-      [this, lpn, gen] { EvictSlot(lpn, gen); });
-  PinnedResource pin = PinnedResource::Adopt(rm_, rid);
+  ResourceHandle handle;
+  rm_->RegisterPinnedPage(
+      label_prefix_, lpn, file_->page_size(), Disposition::kPagedAttribute,
+      pool_, [this, lpn, gen] { EvictSlot(lpn, gen); }, &handle);
+  PinnedResource pin = PinnedResource::Adopt(handle);
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = slots_.find(lpn);
-    if (it != slots_.end()) {
+    std::unique_lock<std::mutex> lock = LockShard(shard);
+    auto it = shard.slots.find(lpn);
+    if (it != shard.slots.end()) {
       // Another thread loaded the same page concurrently; keep theirs and
       // drop ours. Still a miss (we paid a physical read), but also a
       // pin-wait: the call contended with another loader.
-      PinnedResource theirs = PinnedResource::TryPin(rm_, it->second.rid);
+      PinnedResource theirs = PinnedResource::TryPin(it->second.handle);
       if (theirs.valid()) {
+        rm_->Touch(it->second.handle);
         if (it->second.prefetched) {
           it->second.prefetched = false;
           prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -76,22 +149,25 @@ Result<PageRef> PageCache::GetPage(LogicalPageNo lpn, ExecContext* ctx) {
         pin_waits_.fetch_add(1, std::memory_order_relaxed);
         m_pin_waits_->Inc();
         pin.Release();
-        rm_->Unregister(rid);
+        rm_->Unregister(handle->id);
         return PageRef(it->second.page, std::move(theirs), lpn);
       }
       CountWastedLocked(it->second);
-      slots_.erase(it);
+      shard.occupancy->Add(-1);
+      shard.slots.erase(it);
     }
-    slots_[lpn] = Slot{page, rid, gen, /*prefetched=*/false};
+    shard.slots[lpn] = Slot{page, handle, gen, /*prefetched=*/false};
+    shard.occupancy->Add(1);
   }
   return PageRef(std::move(page), std::move(pin), lpn);
 }
 
 void PageCache::Prefetch(LogicalPageNo lpn, ExecContext* ctx) {
+  Shard& shard = ShardFor(lpn);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (slots_.count(lpn) > 0 || inflight_.count(lpn) > 0) return;
-    inflight_.insert(lpn);
+    std::unique_lock<std::mutex> lock = LockShard(shard);
+    if (shard.slots.count(lpn) > 0 || shard.inflight.count(lpn) > 0) return;
+    shard.inflight.insert(lpn);
   }
   prefetch_issued_.fetch_add(1, std::memory_order_relaxed);
   m_prefetch_issued_->Inc();
@@ -101,52 +177,54 @@ void PageCache::Prefetch(LogicalPageNo lpn, ExecContext* ctx) {
 }
 
 void PageCache::DoPrefetch(LogicalPageNo lpn) {
-  // Erasing `lpn` from inflight_ is the signal DropAll / the destructor
-  // wait on before tearing the cache down, so it must be the LAST access to
-  // `this` in the task — notify while still holding the lock, touch nothing
-  // of the cache afterwards.
+  // Erasing `lpn` from its shard's inflight set is the signal DropAll / the
+  // destructor wait on before tearing the cache down, so it must be the
+  // LAST access to `this` in the task — notify while still holding the
+  // shard lock, touch nothing of the cache afterwards.
+  Shard& shard = ShardFor(lpn);
   auto page = std::make_shared<Page>(file_->page_size());
   Status st = file_->ReadPage(lpn, page.get(), nullptr);
   if (!st.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock = LockShard(shard);
     prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
     m_prefetch_wasted_->Inc();
-    inflight_.erase(lpn);
-    inflight_cv_.notify_all();
+    shard.inflight.erase(lpn);
+    shard.inflight_cv.notify_all();
     return;
   }
   loads_.fetch_add(1, std::memory_order_relaxed);
 
   ResourceManager* rm = rm_;
   const uint64_t gen = next_generation_.fetch_add(1);
-  ResourceId rid = rm->RegisterPinned(
-      label_ + "#" + std::to_string(lpn), file_->page_size(),
-      Disposition::kPagedAttribute, pool_,
-      [this, lpn, gen] { EvictSlot(lpn, gen); });
-  PinnedResource pin = PinnedResource::Adopt(rm, rid);
+  ResourceHandle handle;
+  rm->RegisterPinnedPage(
+      label_prefix_, lpn, file_->page_size(), Disposition::kPagedAttribute,
+      pool_, [this, lpn, gen] { EvictSlot(lpn, gen); }, &handle);
+  PinnedResource pin = PinnedResource::Adopt(handle);
 
   bool superseded = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (slots_.count(lpn) > 0) {
+    std::unique_lock<std::mutex> lock = LockShard(shard);
+    if (shard.slots.count(lpn) > 0) {
       // A synchronous load slipped in (the slot was evicted and reloaded
       // while we were reading). Keep theirs, discard ours.
       superseded = true;
       prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
       m_prefetch_wasted_->Inc();
     } else {
-      slots_[lpn] = Slot{page, rid, gen, /*prefetched=*/true};
+      shard.slots[lpn] = Slot{page, handle, gen, /*prefetched=*/true};
+      shard.occupancy->Add(1);
     }
   }
   // Prefetched pages sit in the cache unpinned, with the normal
   // weighted-LRU disposition: readahead must never shield a page from the
   // resource manager.
   pin.Release();
-  if (superseded) rm->Unregister(rid);
+  if (superseded) rm->Unregister(handle->id);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    inflight_.erase(lpn);
-    inflight_cv_.notify_all();
+    std::unique_lock<std::mutex> lock = LockShard(shard);
+    shard.inflight.erase(lpn);
+    shard.inflight_cv.notify_all();
   }
 }
 
@@ -158,57 +236,92 @@ void PageCache::CountWastedLocked(const Slot& slot) {
 }
 
 void PageCache::EvictSlot(LogicalPageNo lpn, uint64_t generation) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = slots_.find(lpn);
-  if (it != slots_.end() && it->second.generation == generation) {
+  Shard& shard = ShardFor(lpn);
+  std::unique_lock<std::mutex> lock = LockShard(shard);
+  auto it = shard.slots.find(lpn);
+  if (it != shard.slots.end() && it->second.generation == generation) {
     CountWastedLocked(it->second);
-    slots_.erase(it);
+    shard.occupancy->Add(-1);
+    shard.slots.erase(it);
   }
 }
 
 bool PageCache::IsLoaded(LogicalPageNo lpn) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return slots_.count(lpn) > 0;
+  Shard& shard = ShardFor(lpn);
+  std::unique_lock<std::mutex> lock = LockShard(shard);
+  return shard.slots.count(lpn) > 0;
 }
 
 void PageCache::WaitForPrefetchIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  inflight_cv_.wait(lock, [&] { return inflight_.empty(); });
+  const uint32_t shards = shard_count();
+  for (uint32_t k = 0; k < shards; ++k) {
+    Shard& shard = shards_[k];
+    std::unique_lock<std::mutex> lock(shard.mu);
+    shard.inflight_cv.wait(lock, [&] { return shard.inflight.empty(); });
+  }
 }
 
 uint64_t PageCache::prefetch_inflight_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return inflight_.size();
+  uint64_t total = 0;
+  const uint32_t shards = shard_count();
+  for (uint32_t k = 0; k < shards; ++k) {
+    std::lock_guard<std::mutex> lock(shards_[k].mu);
+    total += shards_[k].inflight.size();
+  }
+  return total;
 }
 
 void PageCache::DropAll() {
-  std::unique_lock<std::mutex> lock(mu_);
-  // Drain in-flight prefetches first: their tasks capture `this` and will
-  // re-lock mu_ to publish, so the slot table must not be torn down under
-  // them (the destructor relies on this).
-  inflight_cv_.wait(lock, [&] { return inflight_.empty(); });
-  for (auto& [lpn, slot] : slots_) {
-    CountWastedLocked(slot);
-    rm_->Unregister(slot.rid);
+  // One shard at a time: drain that shard's in-flight prefetches (the cv
+  // wait releases the shard lock, so a task publishing to this — or any
+  // other — shard can always make progress), then unregister its slots.
+  // No two shard locks are ever held together, so a prefetch completing on
+  // another shard cannot deadlock against the drain.
+  const uint32_t shards = shard_count();
+  for (uint32_t k = 0; k < shards; ++k) {
+    Shard& shard = shards_[k];
+    std::unique_lock<std::mutex> lock(shard.mu);
+    shard.inflight_cv.wait(lock, [&] { return shard.inflight.empty(); });
+    for (auto& [lpn, slot] : shard.slots) {
+      CountWastedLocked(slot);
+      rm_->Unregister(slot.handle->id);
+    }
+    shard.occupancy->Add(-static_cast<int64_t>(shard.slots.size()));
+    shard.slots.clear();
   }
-  slots_.clear();
 }
 
 uint64_t PageCache::loaded_page_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return slots_.size();
+  uint64_t total = 0;
+  const uint32_t shards = shard_count();
+  for (uint32_t k = 0; k < shards; ++k) {
+    std::lock_guard<std::mutex> lock(shards_[k].mu);
+    total += shards_[k].slots.size();
+  }
+  return total;
 }
 
 uint32_t DefaultReadaheadWindow() {
   static const uint32_t window = [] {
-    const char* env = std::getenv("PAYG_READAHEAD");
-    if (env != nullptr) {
-      const long v = std::strtol(env, nullptr, 10);
-      if (v >= 0 && v <= 64) return static_cast<uint32_t>(v);
-    }
-    return 2u;
+    const uint32_t w = static_cast<uint32_t>(
+        ParseEnvLong("PAYG_READAHEAD", 0, 64, /*fallback=*/2));
+    obs::MetricsRegistry::Global().gauge("cache.readahead")->Set(w);
+    return w;
   }();
   return window;
+}
+
+uint32_t DefaultCacheShards() {
+  static const uint32_t shards = [] {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    const uint32_t def = NormalizeShardCount(static_cast<uint32_t>(hw));
+    const uint32_t n = NormalizeShardCount(static_cast<uint32_t>(ParseEnvLong(
+        "PAYG_CACHE_SHARDS", 1, kMaxCacheShards, static_cast<long>(def))));
+    obs::MetricsRegistry::Global().gauge("cache.shards")->Set(n);
+    return n;
+  }();
+  return shards;
 }
 
 }  // namespace payg

@@ -47,20 +47,21 @@ class PageRef {
 // the resource manager simply drops the page from this cache; the next
 // access reloads it from disk.
 //
-// Thread-safe; the eviction callback runs on the manager's sweeper thread.
+// Thread-safe and sharded: pages are distributed over PAYG_CACHE_SHARDS
+// independent shards by `lpn & mask`, each with its own mutex, slot map,
+// in-flight set and condvar, so hits, misses, prefetch publishes and
+// eviction callbacks on unrelated pages never contend. Hits additionally
+// pin through the resource manager's lock-free handle path, so the warm
+// loop takes exactly one (uncontended in the common case) shard mutex and
+// no process-wide lock. The eviction callback runs on the manager's
+// sweeper thread and touches only the victim's shard.
 class PageCache {
  public:
+  // `shard_count` == 0 uses the process default (DefaultCacheShards());
+  // other values are rounded up to a power of two and clamped — tests use
+  // 1 to force worst-case contention on a single shard.
   PageCache(PageFile* file, ResourceManager* rm, PoolId pool,
-            std::string label)
-      : file_(file), rm_(rm), pool_(pool), label_(std::move(label)) {
-    auto& reg = obs::MetricsRegistry::Global();
-    m_hits_ = reg.counter("cache.hits");
-    m_misses_ = reg.counter("cache.misses");
-    m_pin_waits_ = reg.counter("cache.pin_waits");
-    m_prefetch_issued_ = reg.counter("cache.prefetch_issued");
-    m_prefetch_hits_ = reg.counter("cache.prefetch_hits");
-    m_prefetch_wasted_ = reg.counter("cache.prefetch_wasted");
-  }
+            std::string label, uint32_t shard_count = 0);
 
   ~PageCache() { DropAll(); }
 
@@ -83,18 +84,24 @@ class PageCache {
   void Prefetch(LogicalPageNo lpn, ExecContext* ctx = nullptr);
 
   // Blocks until no prefetch load is in flight (tests / benchmarks; new
-  // prefetches may be issued while this returns).
+  // prefetches may be issued while this returns). Waits shard by shard,
+  // never holding two shard locks at once.
   void WaitForPrefetchIdle();
 
   // True if the page is resident right now (tests / stats; racy by nature).
   bool IsLoaded(LogicalPageNo lpn) const;
 
   // Unloads every cached page (structure unload). Outstanding PageRefs keep
-  // their bytes alive but the pages leave the accounting.
+  // their bytes alive but the pages leave the accounting. Shards are
+  // drained one at a time — each shard's in-flight prefetches are waited
+  // out under that shard's lock only, so a prefetch publishing to another
+  // shard can never deadlock against the drain.
   void DropAll();
 
   uint64_t loaded_page_count() const;
   uint64_t load_count() const { return loads_; }
+
+  uint32_t shard_count() const { return static_cast<uint32_t>(shard_mask_) + 1; }
 
   // Hit/miss accounting: every GetPage call is exactly one of the two. A
   // hit is served from a resident slot (successful pin, no IO); a miss went
@@ -136,13 +143,37 @@ class PageCache {
  private:
   struct Slot {
     std::shared_ptr<Page> page;
-    ResourceId rid = kInvalidResourceId;
+    // Lock-free pin handle of the page's registration; handle->id is the
+    // resource id for Unregister.
+    ResourceHandle handle;
     uint64_t generation = 0;
     // Loaded by Prefetch and not yet served to any GetPage call. The first
     // pin clears the flag (a prefetch hit); leaving the cache with the flag
     // still set means the readahead was wasted.
     bool prefetched = false;
   };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<LogicalPageNo, Slot> slots;
+    // Pages a background prefetch is currently loading. GetPage waits for
+    // an in-flight load of its page instead of issuing a duplicate read,
+    // which is what lets readahead actually hide latency. DropAll (and
+    // thus the destructor) drains this set per shard before clearing, so
+    // no task outlives the cache.
+    std::unordered_set<LogicalPageNo> inflight;
+    std::condition_variable inflight_cv;
+    // "cache.shard<k>.pages" — resident pages in this shard, summed across
+    // cache instances.
+    obs::Gauge* occupancy = nullptr;
+  };
+
+  Shard& ShardFor(LogicalPageNo lpn) const { return shards_[lpn & shard_mask_]; }
+
+  // Locks a shard, recording the wait in "cache.lock_wait" only when the
+  // fast-path try_lock loses (so a warm scan with no contention records
+  // nothing).
+  std::unique_lock<std::mutex> LockShard(const Shard& shard) const;
 
   // Eviction callback target: forgets the slot if it still belongs to the
   // registration identified by `generation`.
@@ -151,23 +182,18 @@ class PageCache {
   // Body of a prefetch task on the background I/O pool.
   void DoPrefetch(LogicalPageNo lpn);
 
-  // Counts a slot leaving the cache untouched after a prefetch. Caller holds
-  // mu_.
+  // Counts a slot leaving the cache untouched after a prefetch. Caller
+  // holds the slot's shard mutex.
   void CountWastedLocked(const Slot& slot);
 
   PageFile* file_;
   ResourceManager* rm_;
   PoolId pool_;
-  std::string label_;
-  mutable std::mutex mu_;
-  std::unordered_map<LogicalPageNo, Slot> slots_;
-  // Pages a background prefetch is currently loading. GetPage waits for an
-  // in-flight load of its page instead of issuing a duplicate read, which
-  // is what lets readahead actually hide latency. DropAll (and thus the
-  // destructor) drains this set before clearing, so no task outlives the
-  // cache.
-  std::unordered_set<LogicalPageNo> inflight_;
-  std::condition_variable inflight_cv_;
+  // Every page of this chain registers as `*label_prefix_ + "#" + lpn`,
+  // kept unformatted so the load path never allocates a label string.
+  std::shared_ptr<const std::string> label_prefix_;
+  std::unique_ptr<Shard[]> shards_;
+  uint64_t shard_mask_ = 0;
   std::atomic<uint64_t> loads_{0};
   std::atomic<uint64_t> next_generation_{1};
   std::atomic<uint64_t> hits_{0};
@@ -182,12 +208,21 @@ class PageCache {
   obs::Counter* m_prefetch_issued_;
   obs::Counter* m_prefetch_hits_;
   obs::Counter* m_prefetch_wasted_;
+  obs::Histogram* m_lock_wait_us_;
 };
 
 // Readahead window (pages prefetched ahead of a sequential cursor) used by
 // the paged iterators: PAYG_READAHEAD, default 2, clamped to [0, 64]; 0
-// disables readahead.
+// disables readahead. Malformed values (trailing garbage, empty) fall back
+// to the default. The effective value is published once as the
+// "cache.readahead" gauge.
 uint32_t DefaultReadaheadWindow();
+
+// Default shard count for new PageCaches: PAYG_CACHE_SHARDS, rounded up to
+// a power of two and clamped to [1, 256]; defaults to a power of two near
+// hardware_concurrency. Malformed values fall back to the default. The
+// effective value is published once as the "cache.shards" gauge.
+uint32_t DefaultCacheShards();
 
 }  // namespace payg
 
