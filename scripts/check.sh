@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full verification: regular build + complete test suite, then a
+# Full verification: project lint gate first (cheapest signal), then the
+# regular build + complete test suite, then a
 # ThreadSanitizer build running the concurrency-sensitive suites (the
 # resource manager's lock-free pin path and striped touch buffers, the
 # partition-parallel executor, the lock-free metrics/trace ring, the page
@@ -10,6 +11,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD="${1:-build}"
+
+echo "== project lint (scripts/lint.py) =="
+python3 scripts/lint.py
+python3 scripts/lint.py --self-test
 
 echo "== regular build + full test suite =="
 cmake -B "$BUILD" -S . >/dev/null

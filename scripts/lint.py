@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Project lint rules clang-tidy cannot express (see DESIGN.md S21).
+
+Rules (scanned over src/*.h, src/*.cc):
+
+  raw-sync         std::mutex / std::condition_variable / std::lock_guard /
+                   std::unique_lock / std::scoped_lock / std::shared_mutex are
+                   banned outside common/thread_annotations.h. The shim types
+                   (payg::Mutex, MutexLock, UniqueLock, CondVar) carry the
+                   thread-safety capability attributes; a raw std primitive is
+                   invisible to the analysis.
+
+  unguarded-mutex  Every declared payg::Mutex must be referenced by at least
+                   one thread-safety annotation (GUARDED_BY / PT_GUARDED_BY /
+                   REQUIRES / ACQUIRE / RELEASE / EXCLUDES) or a CondVar
+                   Wait/WaitFor call in the same file. A mutex nothing is
+                   annotated against protects nothing the analysis can check.
+
+  raw-getenv       getenv is banned outside common/env.{h,cc}; every knob
+                   goes through the strict EnvLong/EnvFlag/EnvRaw helpers.
+
+  metric-name      String literals passed to counter("...") / gauge("...") /
+                   histogram("...") must follow the DESIGN.md §6 scheme:
+                   "<layer>.<metric>" with layer one of storage, cache, rm,
+                   exec, query, io, buffer, obs (a literal that is a prefix
+                   of a concatenated name is checked as a prefix).
+
+  dropped-status   (void)-casting a call to a function whose declared return
+                   type is Status or Result<T> silently swallows an error
+                   path. Propagate it, or justify the drop with a comment AND
+                   a lint:allow marker.
+
+Any rule can be suppressed for one line with `// lint:allow(<rule>)` on that
+line; the suppression is expected to sit next to a justifying comment.
+
+Usage:
+  scripts/lint.py               lint the tree (exit 1 on findings)
+  scripts/lint.py --self-test   run the rules over scripts/lint_fixtures/
+                                and verify every seeded violation is flagged
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+METRIC_LAYERS = ("storage", "cache", "rm", "exec", "query", "io", "buffer",
+                 "obs")
+
+RAW_SYNC_RE = re.compile(
+    r"std::(mutex|condition_variable(_any)?|lock_guard|unique_lock|"
+    r"scoped_lock|shared_mutex|shared_lock)\b")
+MUTEX_DECL_RE = re.compile(r"^\s*(?:mutable\s+)?Mutex\s+(\w+)\s*;", re.M)
+GETENV_RE = re.compile(r"\bgetenv\s*\(")
+METRIC_RE = re.compile(r"\b(?:counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"")
+VOID_CALL_RE = re.compile(r"\(void\)\s*[\w.\->:]*?(\w+)\s*\(")
+STATUS_FN_RE = re.compile(
+    r"^\s*(?:static\s+|virtual\s+|inline\s+)*"
+    r"(?:payg::)?(?:Status|Result<[^;=]*?>)\s+(\w+)\s*\(", re.M)
+ALLOW_RE = re.compile(r"lint:allow\(([a-z\-]+)\)")
+
+
+def source_files(root):
+    return sorted(p for p in root.rglob("*")
+                  if p.suffix in (".h", ".cc") and p.is_file())
+
+
+def status_function_names():
+    """Names of functions declared to return Status / Result<T> in src/."""
+    names = set()
+    for path in source_files(SRC):
+        names.update(STATUS_FN_RE.findall(path.read_text()))
+    # Factory helpers named like constructors are commonly used in
+    # assign-or-return macros, not dropped; keep them in the set anyway —
+    # dropping `(void)Build(...)` would be exactly the bug this rule hunts.
+    return names
+
+
+def allowed(line, rule):
+    return any(m == rule for m in ALLOW_RE.findall(line))
+
+
+def check_file(path, text, status_fns, findings):
+    rel = path.relative_to(REPO)
+    lines = text.splitlines()
+    is_shim = path.name == "thread_annotations.h"
+    is_env = path.parent.name == "common" and path.stem == "env"
+
+    for lineno, line in enumerate(lines, 1):
+        if not is_shim and RAW_SYNC_RE.search(line) and not allowed(
+                line, "raw-sync"):
+            findings.append((rel, lineno, "raw-sync",
+                             "raw std synchronization primitive; use the "
+                             "payg shims from common/thread_annotations.h"))
+        if not is_env and GETENV_RE.search(line) and not allowed(
+                line, "raw-getenv"):
+            findings.append((rel, lineno, "raw-getenv",
+                             "raw getenv; use EnvLong/EnvFlag/EnvRaw from "
+                             "common/env.h"))
+        for name in METRIC_RE.findall(line):
+            if allowed(line, "metric-name"):
+                continue
+            # A concatenated name ("cache.shard" + ...) is validated as a
+            # prefix: the layer and the dotted shape must already be right.
+            ok = re.fullmatch(
+                r"(?:%s)\.[a-z0-9_.]+" % "|".join(METRIC_LAYERS), name)
+            if not ok:
+                findings.append((rel, lineno, "metric-name",
+                                 f'metric name "{name}" does not follow the '
+                                 "DESIGN.md §6 <layer>.<metric> scheme"))
+        m = VOID_CALL_RE.search(line)
+        if m and m.group(1) in status_fns and not allowed(
+                line, "dropped-status"):
+            findings.append((rel, lineno, "dropped-status",
+                             f"(void)-dropped {m.group(1)}() returns "
+                             "Status/Result; propagate or justify with "
+                             "lint:allow(dropped-status)"))
+
+    if not is_shim:
+        for m in MUTEX_DECL_RE.finditer(text):
+            name = m.group(1)
+            lineno = text[:m.start()].count("\n") + 1
+            decl_line = lines[lineno - 1]
+            if allowed(decl_line, "unguarded-mutex"):
+                continue
+            evidence = re.compile(
+                r"(GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRE|RELEASE|"
+                r"EXCLUDES)\s*\(\s*[\w.\->]*\b%s\b|Wait(For)?\s*\(\s*%s\b"
+                % (re.escape(name), re.escape(name)))
+            if not evidence.search(text):
+                findings.append((rel, lineno, "unguarded-mutex",
+                                 f"Mutex {name} has no GUARDED_BY/REQUIRES/"
+                                 "ACQUIRE annotation (or CondVar wait) "
+                                 "anywhere in this file"))
+
+
+def run(root, status_fns):
+    findings = []
+    for path in source_files(root):
+        check_file(path, path.read_text(), status_fns, findings)
+    return findings
+
+
+def main():
+    status_fns = status_function_names()
+
+    if "--self-test" in sys.argv:
+        # Every seeded (file, rule) pair below must be flagged, and the
+        # clean fixture must stay clean — so the linter cannot silently rot.
+        expected = {
+            ("bad_mutex.h", "unguarded-mutex"),
+            ("bad_mutex.h", "raw-sync"),
+            ("bad_getenv.cc", "raw-getenv"),
+            ("bad_metric.cc", "metric-name"),
+            ("bad_status.cc", "dropped-status"),
+        }
+        findings = run(FIXTURES, status_fns)
+        got = {(str(rel.name), rule) for rel, _, rule, _ in findings}
+        missing = expected - got
+        unexpected = {g for g in got
+                      if g not in expected and g[0] != "clean.cc"}
+        clean_hits = [f for f in findings if f[0].name == "clean.cc"]
+        ok = not missing and not unexpected and not clean_hits
+        for rel, lineno, rule, msg in findings:
+            print(f"{rel}:{lineno}: [{rule}] {msg}")
+        if missing:
+            print(f"self-test FAILED: seeded violations not flagged: "
+                  f"{sorted(missing)}")
+        if unexpected:
+            print(f"self-test FAILED: unexpected findings: "
+                  f"{sorted(unexpected)}")
+        if clean_hits:
+            print("self-test FAILED: clean.cc was flagged")
+        print("self-test " + ("OK" if ok else "FAILED"))
+        return 0 if ok else 1
+
+    findings = run(SRC, status_fns)
+    for rel, lineno, rule, msg in findings:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s)")
+        return 1
+    print("lint.py: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+// Lint self-test fixture: deliberately violates raw-getenv.
+// Never compiled; scanned by scripts/lint.py --self-test.
+#include <cstdlib>
+
+namespace payg_fixture {
+
+int ThreadsFromEnv() {
+  const char* raw = std::getenv("PAYG_PREFETCH_THREADS");
+  return raw ? *raw - '0' : 2;
+}
+
+}  // namespace payg_fixture

@@ -1,0 +1,9 @@
+// Lint self-test fixture: deliberately violates metric-name ("pagecache"
+// is not a DESIGN.md §6 layer). Never compiled; scanned by --self-test.
+namespace payg_fixture {
+
+void RegisterMetrics(Registry* reg) {
+  hits_ = reg->counter("pagecache.hits");
+}
+
+}  // namespace payg_fixture

@@ -1,0 +1,19 @@
+// Lint self-test fixture: deliberately violates raw-sync and
+// unguarded-mutex. Never compiled; scanned by scripts/lint.py --self-test.
+#ifndef PAYG_LINT_FIXTURE_BAD_MUTEX_H_
+#define PAYG_LINT_FIXTURE_BAD_MUTEX_H_
+
+#include <mutex>
+
+namespace payg_fixture {
+
+class BadMutex {
+ private:
+  std::mutex raw_mu_;  // raw-sync: std primitive instead of payg::Mutex
+  Mutex orphan_mu_;    // unguarded-mutex: nothing is annotated against it
+  int counter_ = 0;
+};
+
+}  // namespace payg_fixture
+
+#endif  // PAYG_LINT_FIXTURE_BAD_MUTEX_H_

@@ -1,0 +1,9 @@
+// Lint self-test fixture: deliberately violates dropped-status (DropChain
+// returns Status in src/storage). Never compiled; scanned by --self-test.
+namespace payg_fixture {
+
+void CleanupChains(StorageManager* storage) {
+  (void)storage->DropChain("x");
+}
+
+}  // namespace payg_fixture

@@ -1,0 +1,22 @@
+// Lint self-test fixture: fully compliant — must produce zero findings so
+// the self-test catches a linter that over-flags. Never compiled.
+namespace payg_fixture {
+
+class Clean {
+ public:
+  void Touch() {
+    MutexLock lock(mu_);
+    ++counter_;
+  }
+
+  void RegisterMetrics(Registry* reg) {
+    touches_ = reg->counter("cache.fixture_touches");
+  }
+
+ private:
+  mutable Mutex mu_;
+  int counter_ GUARDED_BY(mu_) = 0;
+  Counter* touches_ = nullptr;
+};
+
+}  // namespace payg_fixture

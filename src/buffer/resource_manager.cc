@@ -45,10 +45,10 @@ void ResourceManager::UpdateGauges() {
 
 ResourceManager::~ResourceManager() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  sweeper_cv_.notify_all();
+  sweeper_cv_.NotifyAll();
   sweeper_.join();
 }
 
@@ -105,7 +105,7 @@ ResourceId ResourceManager::RegisterInternal(ResourceHandle entry,
 
   {
     TableStripe& stripe = table_stripes_[id % kTableStripes];
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(stripe.mu);
     stripe.map.emplace(id, std::move(entry));
   }
   pool_bytes_[pool_idx].fetch_add(bytes, std::memory_order_relaxed);
@@ -121,7 +121,7 @@ ResourceId ResourceManager::RegisterInternal(ResourceHandle entry,
   if (budget != 0 && total > budget) {
     std::vector<EvictCallback> callbacks;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ReactiveEvictLocked(&callbacks);
     }
     for (auto& cb : callbacks) {
@@ -135,7 +135,7 @@ ResourceId ResourceManager::RegisterInternal(ResourceHandle entry,
       pool_limits_[pool_idx].upper.load(std::memory_order_relaxed);
   if (upper != 0 &&
       pool_bytes_[pool_idx].load(std::memory_order_relaxed) > upper) {
-    sweeper_cv_.notify_one();
+    sweeper_cv_.NotifyOne();
   }
   return id;
 }
@@ -190,7 +190,7 @@ void ResourceManager::Unpin(ResourceId id) {
 
 void ResourceManager::RecordTouch(ResourceId id, uint64_t stamp) {
   TouchStripe& stripe = touch_stripes_[id % kTouchStripes];
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(stripe.mu);
   uint64_t& slot = stripe.pending[id];
   if (stamp > slot) slot = stamp;
 }
@@ -198,7 +198,7 @@ void ResourceManager::RecordTouch(ResourceId id, uint64_t stamp) {
 void ResourceManager::FlushTouchesLocked() {
   std::vector<std::pair<ResourceId, uint64_t>> pending;
   for (TouchStripe& stripe : touch_stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(stripe.mu);
     pending.insert(pending.end(), stripe.pending.begin(),
                    stripe.pending.end());
     stripe.pending.clear();
@@ -231,7 +231,7 @@ void ResourceManager::SetGlobalBudget(uint64_t bytes) {
   global_budget_.store(bytes, std::memory_order_relaxed);
   std::vector<EvictCallback> callbacks;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ReactiveEvictLocked(&callbacks);
   }
   for (auto& cb : callbacks) {
@@ -243,7 +243,7 @@ void ResourceManager::SetPoolLimits(PoolId pool, Limits limits) {
   auto& lim = pool_limits_[static_cast<int>(pool)];
   lim.lower.store(limits.lower, std::memory_order_relaxed);
   lim.upper.store(limits.upper, std::memory_order_relaxed);
-  sweeper_cv_.notify_one();
+  sweeper_cv_.NotifyOne();
 }
 
 void ResourceManager::SweepNow() {
@@ -251,7 +251,7 @@ void ResourceManager::SweepNow() {
   Stopwatch timer;
   std::vector<EvictCallback> callbacks;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     FlushTouchesLocked();
     PruneDeadLruNodesLocked();
     for (int p = 0; p < kNumPools; ++p) {
@@ -275,7 +275,7 @@ void ResourceManager::SweepNow() {
 ResourceManagerStats ResourceManager::stats() const {
   ResourceManagerStats s;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     s = counters_;
   }
   s.total_bytes = total_bytes_.load(std::memory_order_relaxed);
@@ -436,9 +436,11 @@ void ResourceManager::PruneDeadLruNodesLocked() {
 }
 
 void ResourceManager::BackgroundSweeper() {
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueLock lock(mu_);
   while (!shutting_down_) {
-    sweeper_cv_.wait_for(lock, std::chrono::milliseconds(20));
+    // Timed wait (not a predicate wait): the sweeper wakes on the 20 ms
+    // tick, on limit changes, and on over-limit registrations alike.
+    (void)sweeper_cv_.WaitFor(mu_, std::chrono::milliseconds(20));
     if (shutting_down_) break;
     const auto sweep_start = std::chrono::steady_clock::now();
     std::vector<EvictCallback> callbacks;
@@ -456,7 +458,8 @@ void ResourceManager::BackgroundSweeper() {
       }
     }
     if (!callbacks.empty()) {
-      lock.unlock();
+      // Callbacks run outside mu_ (they may call back into the manager).
+      lock.Unlock();
       for (auto& cb : callbacks) {
         if (cb) cb();
       }
@@ -470,7 +473,7 @@ void ResourceManager::BackgroundSweeper() {
         obs::Tracer::Global().RecordSpan("buffer", "sweep", sweep_start,
                                          callbacks.size());
       }
-      lock.lock();
+      lock.Lock();
     }
   }
 }

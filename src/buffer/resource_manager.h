@@ -2,12 +2,10 @@
 #define PAYG_BUFFER_RESOURCE_MANAGER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -17,6 +15,7 @@
 #include "buffer/disposition.h"
 #include "common/macros.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace payg {
@@ -225,8 +224,8 @@ class ResourceManager {
   // only on one stripe.
   static constexpr int kTableStripes = 16;
   struct TableStripe {
-    mutable std::mutex mu;
-    std::unordered_map<ResourceId, ResourceHandle> map;
+    mutable Mutex mu;
+    std::unordered_map<ResourceId, ResourceHandle> map GUARDED_BY(mu);
   };
 
   // Hot-path touch buffering. Only the latest stamp per id matters for the
@@ -234,19 +233,20 @@ class ResourceManager {
   // is a per-stripe map and its size is bounded by the number of live ids.
   static constexpr int kTouchStripes = 16;
   struct TouchStripe {
-    std::mutex mu;
-    std::unordered_map<ResourceId, uint64_t> pending;  // id → latest stamp
+    Mutex mu;
+    // id → latest stamp
+    std::unordered_map<ResourceId, uint64_t> pending GUARDED_BY(mu);
   };
 
   ResourceHandle Find(ResourceId id) const {
     const TableStripe& stripe = table_stripes_[id % kTableStripes];
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(stripe.mu);
     auto it = stripe.map.find(id);
     return it == stripe.map.end() ? nullptr : it->second;
   }
   void EraseFromTable(ResourceId id) {
     TableStripe& stripe = table_stripes_[id % kTableStripes];
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(stripe.mu);
     stripe.map.erase(id);
   }
 
@@ -263,23 +263,26 @@ class ResourceManager {
   // performs the deferred *insertion* of newly registered entries into
   // their LRU list. Must run before any victim selection; stale ids
   // (already removed) are skipped — resource ids are never reused.
-  void FlushTouchesLocked();
+  void FlushTouchesLocked() REQUIRES(mu_);
   // Removes a dead-flagged entry's accounting (bytes, table, LRU node if
   // still linked) and bumps eviction counters when asked. The caller has
   // already won the dead flag.
   void FinishRemovalLocked(const ResourceHandle& e, bool count_as_eviction,
-                           bool proactive);
+                           bool proactive) REQUIRES(mu_);
   // Collects victims (under lock) until pool usage <= target, plain LRU.
   // `proactive` only labels the eviction counters (sweeper vs. budget
   // pressure).
   void CollectPagedVictimsLocked(PoolId pool, uint64_t target, bool proactive,
-                                 std::vector<EvictCallback>* callbacks);
+                                 std::vector<EvictCallback>* callbacks)
+      REQUIRES(mu_);
   // Collects general-pool victims by descending t/w until total <= target.
   void CollectWeightedVictimsLocked(uint64_t target,
-                                    std::vector<EvictCallback>* callbacks);
-  void ReactiveEvictLocked(std::vector<EvictCallback>* callbacks);
+                                    std::vector<EvictCallback>* callbacks)
+      REQUIRES(mu_);
+  void ReactiveEvictLocked(std::vector<EvictCallback>* callbacks)
+      REQUIRES(mu_);
   // Drops LRU nodes whose entry is gone (Unregister defers this cleanup).
-  void PruneDeadLruNodesLocked();
+  void PruneDeadLruNodesLocked() REQUIRES(mu_);
   void BackgroundSweeper();
   // Pushes total/pool byte levels and the resource count into the registry
   // gauges ("rm.bytes.*", "rm.resources"). Gauges are statistics: written
@@ -306,17 +309,21 @@ class ResourceManager {
   std::atomic<uint64_t> dead_lru_nodes_{0};
   static constexpr uint64_t kDeadLruPruneThreshold = 1024;
 
-  mutable std::mutex mu_;
-  std::condition_variable sweeper_cv_;
+  // Lock order (DESIGN.md §8): mu_ → table stripe, mu_ → touch stripe; no
+  // path acquires mu_ while holding a stripe. Entry's mu_-guarded fields
+  // (last_touch, lru_it, in_lru) cannot carry GUARDED_BY — Entry has no
+  // back-pointer to its manager — see DESIGN.md S21.
+  mutable Mutex mu_;
+  CondVar sweeper_cv_;
   // Per-pool LRU lists; front = least recently used. Membership lags
   // registration (applied at flush) and removal (stale nodes pruned during
   // walks); victim passes always flush first, so every live entry is
   // visible to eviction.
-  std::list<ResourceId> lru_[kNumPools];
-  ResourceManagerStats counters_;  // eviction counters; guarded by mu_
+  std::list<ResourceId> lru_[kNumPools] GUARDED_BY(mu_);
+  ResourceManagerStats counters_ GUARDED_BY(mu_);  // eviction counters
   std::atomic<ResourceId> next_id_{1};
   std::atomic<uint64_t> clock_{1};
-  bool shutting_down_ = false;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
   std::thread sweeper_;
 
   // Registry mirrors (resolved once; see DESIGN.md for the name scheme).

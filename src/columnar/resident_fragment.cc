@@ -239,14 +239,14 @@ Result<std::unique_ptr<FullyResidentFragment>> FullyResidentFragment::Open(
 }
 
 FullyResidentFragment::~FullyResidentFragment() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (loaded_ && resource_id_ != kInvalidResourceId) {
     rm_->Unregister(resource_id_);
   }
 }
 
 Result<ResourceId> FullyResidentFragment::EnsureLoaded() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (loaded_) return resource_id_;
 
   Stopwatch timer;
@@ -347,7 +347,7 @@ Result<ResourceId> FullyResidentFragment::EnsureLoaded() {
   resource_id_ = rm_->Register(
       name_, resident_bytes_, Disposition::kMidTerm, PoolId::kGeneral,
       [this] {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         UnloadLocked();
       });
   return resource_id_;
@@ -364,14 +364,14 @@ void FullyResidentFragment::UnloadLocked() {
 }
 
 void FullyResidentFragment::Unload() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!loaded_) return;
   rm_->Unregister(resource_id_);
   UnloadLocked();
 }
 
 uint64_t FullyResidentFragment::ResidentBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return loaded_ ? resident_bytes_ : 0;
 }
 

@@ -2,7 +2,6 @@
 #define PAYG_COLUMNAR_RESIDENT_FRAGMENT_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -10,6 +9,7 @@
 #include "columnar/dictionary.h"
 #include "columnar/fragment.h"
 #include "columnar/inverted_index.h"
+#include "common/thread_annotations.h"
 #include "encoding/bit_packing.h"
 #include "encoding/sparse_vector.h"
 #include "storage/storage_manager.h"
@@ -63,8 +63,14 @@ class FullyResidentFragment : public MainFragment {
 
   // Nanoseconds spent in the most recent full load (0 if never loaded).
   // Benchmarks report this against per-page load cost of paged columns.
-  uint64_t last_load_nanos() const { return last_load_nanos_; }
-  uint64_t load_count() const { return load_count_; }
+  uint64_t last_load_nanos() const {
+    MutexLock lock(mu_);
+    return last_load_nanos_;
+  }
+  uint64_t load_count() const {
+    MutexLock lock(mu_);
+    return load_count_;
+  }
   Codec codec() const { return codec_; }
 
  private:
@@ -77,7 +83,7 @@ class FullyResidentFragment : public MainFragment {
   // Loads the fragment from disk if not resident. Returns the resource id
   // to pin.
   Result<ResourceId> EnsureLoaded();
-  void UnloadLocked();
+  void UnloadLocked() REQUIRES(mu_);
 
   StorageManager* storage_;
   ResourceManager* rm_;
@@ -91,16 +97,22 @@ class FullyResidentFragment : public MainFragment {
 
   Codec codec_ = Codec::kPacked;
 
-  mutable std::mutex mu_;
-  bool loaded_ = false;
-  ResourceId resource_id_ = kInvalidResourceId;
+  // mu_ guards the load/unload state machine. The payload structures
+  // (dict_, data_, sparse_, index_) are deliberately NOT annotated: they are
+  // written under mu_ inside EnsureLoaded before the resource is published,
+  // then read lock-free by ResidentReader, which holds a pin — the pin (not
+  // the mutex) is what keeps eviction away from them. That protocol is not
+  // expressible to the thread-safety analysis; see DESIGN.md S21.
+  mutable Mutex mu_;
+  bool loaded_ GUARDED_BY(mu_) = false;
+  ResourceId resource_id_ GUARDED_BY(mu_) = kInvalidResourceId;
   Dictionary dict_;
   PackedVector data_;     // codec_ == kPacked
   SparseVector sparse_;   // codec_ == kSparse
   InvertedIndex index_;
-  uint64_t resident_bytes_ = 0;
-  uint64_t last_load_nanos_ = 0;
-  uint64_t load_count_ = 0;
+  uint64_t resident_bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t last_load_nanos_ GUARDED_BY(mu_) = 0;
+  uint64_t load_count_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace payg

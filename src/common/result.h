@@ -11,8 +11,10 @@ namespace payg {
 
 // A value-or-status holder, in the spirit of absl::StatusOr. The value is
 // only accessible when ok(); accessing it otherwise aborts.
+// [[nodiscard]] for the same reason as Status: discarding a Result discards
+// the error path along with the value.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from values and from Status keeps call sites
   // readable: `return 42;` / `return Status::NotFound(...)`.

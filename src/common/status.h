@@ -25,7 +25,10 @@ enum class StatusCode : int {
 };
 
 // RocksDB-style status object. Cheap to copy in the OK case (no allocation).
-class Status {
+// [[nodiscard]]: a dropped Status is a swallowed error — callers must check,
+// propagate (PAYG_RETURN_IF_ERROR), or cast to void with a justifying
+// comment (see DESIGN.md S21).
+class [[nodiscard]] Status {
  public:
   Status() = default;
 

@@ -1,0 +1,146 @@
+// Clang Thread Safety Analysis annotation layer.
+//
+// Wraps the std synchronization primitives in thin shims that carry TSA
+// capability attributes, so the lock discipline documented in DESIGN.md §8
+// (manager mu_ -> table/touch stripes, never two cache shards at once,
+// *Locked() helpers only under their mutex) is *proved* at compile time on
+// clang builds instead of merely exercised by the TSan leg.
+//
+// On clang, build with -DPAYG_THREAD_SAFETY=ON to turn the analysis into a
+// hard gate (-Wthread-safety -Werror=thread-safety). On other compilers every
+// macro expands to nothing and the shims cost exactly what the std types
+// cost. Conventions and the suppression policy live in DESIGN.md S21.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define PAYG_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PAYG_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+#define CAPABILITY(x) PAYG_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY PAYG_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) PAYG_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) PAYG_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) PAYG_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) PAYG_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) PAYG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) PAYG_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) PAYG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) PAYG_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) PAYG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) PAYG_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) PAYG_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) PAYG_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) PAYG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) PAYG_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) PAYG_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS PAYG_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace payg {
+
+// std::mutex wearing a TSA capability. Use only through MutexLock/UniqueLock
+// (or CondVar), never bare Lock/Unlock pairs in new code.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Escape hatch for interop with std APIs (CondVar uses it via adopt_lock).
+  // Callers touching this directly must justify it in DESIGN.md S21.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock held for a full scope — the std::lock_guard replacement.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Relockable RAII lock — the std::unique_lock replacement for paths that
+// drop the lock mid-scope (callback invocation, sweeper loops).
+class SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) ACQUIRE(mu) : mu_(mu), locked_(true) {
+    mu_.Lock();
+  }
+  UniqueLock(Mutex& mu, std::defer_lock_t) EXCLUDES(mu)
+      : mu_(mu), locked_(false) {}
+  ~UniqueLock() RELEASE() {
+    if (locked_) mu_.Unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void Lock() ACQUIRE() {
+    mu_.Lock();
+    locked_ = true;
+  }
+  void Unlock() RELEASE() {
+    mu_.Unlock();
+    locked_ = false;
+  }
+  bool OwnsLock() const { return locked_; }
+
+ private:
+  Mutex& mu_;
+  bool locked_;
+};
+
+// Condition variable over payg::Mutex. Wait/WaitFor require the caller to
+// hold the mutex (expressed as REQUIRES so TSA checks the wait loop); the
+// lock is released for the duration of the wait and re-held on return, which
+// TSA models as "still held across the call" — correct for the caller's
+// while-loop view. Use explicit `while (!pred) cv.Wait(mu);` loops, never
+// predicate lambdas (TSA analyzes lambdas with an empty lockset).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // caller's scope still owns the (re-acquired) lock
+  }
+
+  template <class Rep, class Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& dur)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
+    std::cv_status st = cv_.wait_for(lk, dur);
+    lk.release();
+    return st;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace payg

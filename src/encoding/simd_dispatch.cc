@@ -1,9 +1,9 @@
 #include "encoding/simd_dispatch.h"
 
-#include <cstdlib>
 #include <cstring>
 #include <utility>
 
+#include "common/env.h"
 #include "encoding/bit_packing.h"
 
 namespace payg {
@@ -62,9 +62,8 @@ const PackedKernels& ScalarTable() {
 }
 
 SimdLevel ChooseActiveLevel() {
-  const char* force = std::getenv("PAYG_FORCE_SCALAR");
-  if (force != nullptr && force[0] == '1') return SimdLevel::kScalar;
-  const char* pick = std::getenv("PAYG_SIMD");
+  if (EnvFlag("PAYG_FORCE_SCALAR")) return SimdLevel::kScalar;
+  const char* pick = EnvRaw("PAYG_SIMD");
   if (pick != nullptr) {
     if (std::strcmp(pick, "scalar") == 0) return SimdLevel::kScalar;
     if (std::strcmp(pick, "sse42") == 0 &&

@@ -31,7 +31,9 @@ bool SparseVector::ShouldUse(const std::vector<ValueId>& vids,
 SparseVector SparseVector::Encode(const std::vector<ValueId>& vids) {
   SparseVector sv;
   sv.size_ = vids.size();
-  (void)DominantFraction(vids, &sv.dominant_);
+  // Only the dominant vid (out-param) matters here; the returned fraction
+  // already decided ShouldUseSparse at the call site above this one.
+  (void)DominantFraction(vids, &sv.dominant_);  // lint:allow(dropped-status)
 
   ValueId max_exception = 0;
   for (ValueId v : vids) {

@@ -1,24 +1,12 @@
 #include "exec/io_pool.h"
 
-#include <cstdlib>
+#include "common/env.h"
 
 namespace payg {
 
-namespace {
-
-uint32_t IoPoolThreads() {
-  const char* env = std::getenv("PAYG_PREFETCH_THREADS");
-  if (env != nullptr) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1 && v <= 16) return static_cast<uint32_t>(v);
-  }
-  return 2;
-}
-
-}  // namespace
-
 ThreadPool* SharedIoPool() {
-  static ThreadPool* pool = new ThreadPool(IoPoolThreads());
+  static ThreadPool* pool = new ThreadPool(static_cast<uint32_t>(
+      EnvLong("PAYG_PREFETCH_THREADS", 1, 16, /*fallback=*/2)));
   return pool;
 }
 

@@ -2,11 +2,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/thread_annotations.h"
 #include "common/stopwatch.h"
 #include "obs/trace.h"
 
@@ -59,8 +58,8 @@ Status QueryExecutor::ForEach(ExecContext* ctx, size_t n,
 
   std::vector<Status> statuses(n);
   std::atomic<size_t> remaining{n};
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   for (size_t i = 0; i < n; ++i) {
     const auto submitted = std::chrono::steady_clock::now();
     pool_->Submit([&, i, submitted] {
@@ -70,14 +69,17 @@ Status QueryExecutor::ForEach(ExecContext* ctx, size_t n,
               .count()));
       statuses[i] = run(i);
       if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(mu);
-        cv.notify_one();
+        // Empty critical section on purpose: pairs the notify with the
+        // waiter's lock so the wake can't be lost between its check of
+        // `remaining` and its wait.
+        MutexLock lock(mu);
+        cv.NotifyOne();
       }
     });
   }
   {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return remaining.load() == 0; });
+    MutexLock lock(mu);
+    while (remaining.load() != 0) cv.Wait(mu);
   }
   for (Status& s : statuses) {
     if (!s.ok()) return finish(std::move(s));

@@ -14,28 +14,30 @@ ThreadPool::ThreadPool(uint32_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     PAYG_ASSERT_MSG(!shutting_down_, "submit after shutdown");
     queue_.push_back(std::move(fn));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> fn;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Explicit wait loop (not a predicate lambda) so the thread-safety
+      // analysis sees the guarded reads under mu_.
+      while (!shutting_down_ && queue_.empty()) cv_.Wait(mu_);
       // Drain remaining work on shutdown so no submitted task is lost.
       if (queue_.empty()) return;
       fn = std::move(queue_.front());

@@ -1,13 +1,13 @@
 #ifndef PAYG_EXEC_THREAD_POOL_H_
 #define PAYG_EXEC_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace payg {
 
@@ -32,10 +32,11 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutting_down_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool shutting_down_ GUARDED_BY(mu_) = false;
+  // Written only in the constructor, joined in the destructor; no lock.
   std::vector<std::thread> workers_;
 };
 

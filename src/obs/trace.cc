@@ -31,7 +31,7 @@ Tracer& Tracer::Global() {
 }
 
 void Tracer::Enable(size_t capacity) {
-  std::lock_guard<std::mutex> lock(control_mu_);
+  MutexLock lock(control_mu_);
   if (capacity < 2) capacity = 2;
   rings_.push_back(std::make_unique<Ring>(RoundUpPow2(capacity),
                                           std::chrono::steady_clock::now()));

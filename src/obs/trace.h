@@ -5,9 +5,10 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace payg::obs {
 
@@ -93,8 +94,10 @@ class Tracer {
   std::atomic<Ring*> ring_{nullptr};
   // Rings are retired, never freed, so a span that straddled a re-Enable
   // still writes into valid memory. Bounded by the number of Enable calls.
-  std::mutex control_mu_;
-  std::vector<std::unique_ptr<Ring>> rings_;
+  // control_mu_ serializes Enable() only; recording reads the current ring
+  // through the ring_ atomic, never under a lock.
+  Mutex control_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_ GUARDED_BY(control_mu_);
 };
 
 // RAII span: measures construction-to-destruction and records it into the

@@ -2,15 +2,14 @@
 #define PAYG_PAGED_PAGE_CACHE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "buffer/resource_manager.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "storage/page_file.h"
 
@@ -154,26 +153,41 @@ class PageCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<LogicalPageNo, Slot> slots;
+    // DESIGN.md §8: no path ever holds two shard mutexes — the aggregate
+    // walks (DropAll, WaitForPrefetchIdle, counts) visit shards strictly one
+    // at a time, which is what makes a prefetch publishing to another shard
+    // deadlock-free against them.
+    mutable Mutex mu;
+    std::unordered_map<LogicalPageNo, Slot> slots GUARDED_BY(mu);
     // Pages a background prefetch is currently loading. GetPage waits for
     // an in-flight load of its page instead of issuing a duplicate read,
     // which is what lets readahead actually hide latency. DropAll (and
     // thus the destructor) drains this set per shard before clearing, so
     // no task outlives the cache.
-    std::unordered_set<LogicalPageNo> inflight;
-    std::condition_variable inflight_cv;
+    std::unordered_set<LogicalPageNo> inflight GUARDED_BY(mu);
+    CondVar inflight_cv;
     // "cache.shard<k>.pages" — resident pages in this shard, summed across
-    // cache instances.
+    // cache instances. Atomic gauge: bumped under mu by convention but
+    // needs no guard.
     obs::Gauge* occupancy = nullptr;
   };
 
   Shard& ShardFor(LogicalPageNo lpn) const { return shards_[lpn & shard_mask_]; }
 
-  // Locks a shard, recording the wait in "cache.lock_wait" only when the
-  // fast-path try_lock loses (so a warm scan with no contention records
+  // Scoped shard lock, recording the wait in "cache.lock_wait" only when
+  // the fast-path TryLock loses (so a warm scan with no contention records
   // nothing).
-  std::unique_lock<std::mutex> LockShard(const Shard& shard) const;
+  class SCOPED_CAPABILITY ShardLock {
+   public:
+    ShardLock(const PageCache& cache, const Shard& shard) ACQUIRE(shard.mu);
+    ~ShardLock() RELEASE() { mu_.Unlock(); }
+
+    ShardLock(const ShardLock&) = delete;
+    ShardLock& operator=(const ShardLock&) = delete;
+
+   private:
+    Mutex& mu_;
+  };
 
   // Eviction callback target: forgets the slot if it still belongs to the
   // registration identified by `generation`.
@@ -182,9 +196,9 @@ class PageCache {
   // Body of a prefetch task on the background I/O pool.
   void DoPrefetch(LogicalPageNo lpn);
 
-  // Counts a slot leaving the cache untouched after a prefetch. Caller
-  // holds the slot's shard mutex.
-  void CountWastedLocked(const Slot& slot);
+  // Counts a slot of `shard` leaving the cache untouched after a prefetch.
+  void CountWastedLocked(const Shard& shard, const Slot& slot)
+      REQUIRES(shard.mu);
 
   PageFile* file_;
   ResourceManager* rm_;

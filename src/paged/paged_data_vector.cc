@@ -144,7 +144,7 @@ Result<std::unique_ptr<PagedDataVector>> PagedDataVector::Open(
 Result<std::shared_ptr<PageSummary>> PagedDataVector::PinSummary(
     PinnedResource* pin) {
   {
-    std::lock_guard<std::mutex> lock(summary_mu_);
+    MutexLock lock(summary_mu_);
     if (summary_ != nullptr) {
       PinnedResource p = PinnedResource::TryPin(rm_, summary_rid_);
       if (p.valid()) {
@@ -173,7 +173,7 @@ Result<std::shared_ptr<PageSummary>> PagedDataVector::PinSummary(
     s->max_vid.push_back(mx);
   }
 
-  std::lock_guard<std::mutex> lock(summary_mu_);
+  MutexLock lock(summary_mu_);
   if (summary_ != nullptr) {
     PinnedResource p = PinnedResource::TryPin(rm_, summary_rid_);
     if (p.valid()) {
@@ -187,7 +187,7 @@ Result<std::shared_ptr<PageSummary>> PagedDataVector::PinSummary(
   summary_rid_ = rm_->RegisterPinned(
       name_ + ".dvsum", summary_->MemoryBytes(), Disposition::kPagedAttribute,
       pool_, [this, gen] {
-        std::lock_guard<std::mutex> lk(summary_mu_);
+        MutexLock lk(summary_mu_);
         if (summary_gen_ == gen) {
           summary_ = nullptr;
           summary_rid_ = kInvalidResourceId;
@@ -199,7 +199,7 @@ Result<std::shared_ptr<PageSummary>> PagedDataVector::PinSummary(
 
 void PagedDataVector::Unload() {
   {
-    std::lock_guard<std::mutex> lock(summary_mu_);
+    MutexLock lock(summary_mu_);
     if (summary_ != nullptr) {
       rm_->Unregister(summary_rid_);
       summary_ = nullptr;

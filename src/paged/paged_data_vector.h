@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include <mutex>
+#include "common/thread_annotations.h"
 
 #include "buffer/resource_manager.h"
 #include "common/result.h"
@@ -75,10 +75,12 @@ class PagedDataVector {
   std::unique_ptr<PageFile> file_;
   std::unique_ptr<PageCache> cache_;
 
-  mutable std::mutex summary_mu_;
-  std::shared_ptr<PageSummary> summary_;
-  ResourceId summary_rid_ = kInvalidResourceId;
-  uint64_t summary_gen_ = 0;
+  // Double-checked load state of the page summary; the generation detects
+  // eviction between unlock and re-lock.
+  mutable Mutex summary_mu_;
+  std::shared_ptr<PageSummary> summary_ GUARDED_BY(summary_mu_);
+  ResourceId summary_rid_ GUARDED_BY(summary_mu_) = kInvalidResourceId;
+  uint64_t summary_gen_ GUARDED_BY(summary_mu_) = 0;
 };
 
 // Stateful iterator over a paged data vector (§3.1.2). Keeps at most one

@@ -207,7 +207,7 @@ PagedDictionary::~PagedDictionary() { Unload(); }
 Result<std::shared_ptr<PagedDictionary::Helpers>> PagedDictionary::PinHelpers(
     PinnedResource* pin) {
   {
-    std::lock_guard<std::mutex> lock(helpers_mu_);
+    MutexLock lock(helpers_mu_);
     if (helpers_ != nullptr) {
       PinnedResource p = PinnedResource::TryPin(rm_, helpers_rid_);
       if (p.valid()) {
@@ -242,7 +242,7 @@ Result<std::shared_ptr<PagedDictionary::Helpers>> PagedDictionary::PinHelpers(
     h->last_value.push_back(std::move(value));
   }
 
-  std::lock_guard<std::mutex> lock(helpers_mu_);
+  MutexLock lock(helpers_mu_);
   if (helpers_ != nullptr) {
     // Raced with another loader; prefer theirs if still pinnable.
     PinnedResource p = PinnedResource::TryPin(rm_, helpers_rid_);
@@ -257,7 +257,7 @@ Result<std::shared_ptr<PagedDictionary::Helpers>> PagedDictionary::PinHelpers(
   helpers_rid_ = rm_->RegisterPinned(
       name_ + ".dicthlp", helpers_->MemoryBytes(),
       Disposition::kPagedAttribute, pool_, [this, gen] {
-        std::lock_guard<std::mutex> lk(helpers_mu_);
+        MutexLock lk(helpers_mu_);
         if (helpers_gen_ == gen) {
           helpers_ = nullptr;
           helpers_rid_ = kInvalidResourceId;
@@ -269,7 +269,7 @@ Result<std::shared_ptr<PagedDictionary::Helpers>> PagedDictionary::PinHelpers(
 
 void PagedDictionary::Unload() {
   {
-    std::lock_guard<std::mutex> lock(helpers_mu_);
+    MutexLock lock(helpers_mu_);
     if (helpers_ != nullptr) {
       rm_->Unregister(helpers_rid_);
       helpers_ = nullptr;
@@ -280,7 +280,7 @@ void PagedDictionary::Unload() {
 }
 
 bool PagedDictionary::helpers_loaded() const {
-  std::lock_guard<std::mutex> lock(helpers_mu_);
+  MutexLock lock(helpers_mu_);
   return helpers_ != nullptr;
 }
 

@@ -3,12 +3,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "buffer/resource_manager.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "encoding/string_block.h"
 #include "encoding/types.h"
 #include "paged/page_cache.h"
@@ -94,10 +94,12 @@ class PagedDictionary {
   std::unique_ptr<PageFile> file_;
   std::unique_ptr<PageCache> cache_;
 
-  mutable std::mutex helpers_mu_;
-  std::shared_ptr<Helpers> helpers_;
-  ResourceId helpers_rid_ = kInvalidResourceId;
-  uint64_t helpers_gen_ = 0;
+  // Double-checked load state of the pre-loaded helper dictionaries; the
+  // generation detects eviction between unlock and re-lock.
+  mutable Mutex helpers_mu_;
+  std::shared_ptr<Helpers> helpers_ GUARDED_BY(helpers_mu_);
+  ResourceId helpers_rid_ GUARDED_BY(helpers_mu_) = kInvalidResourceId;
+  uint64_t helpers_gen_ GUARDED_BY(helpers_mu_) = 0;
 };
 
 // Iterator-based access to the paged dictionary (§3.2.2/§3.2.3). Maintains

@@ -215,7 +215,7 @@ Result<std::shared_ptr<Dictionary>> PagedFragment::PinNumericDict(
     PinnedResource* pin) {
   PAYG_ASSERT(type_ != ValueType::kString);
   {
-    std::lock_guard<std::mutex> lock(num_dict_mu_);
+    MutexLock lock(num_dict_mu_);
     if (num_dict_ != nullptr) {
       PinnedResource p = PinnedResource::TryPin(rm_, num_dict_rid_);
       if (p.valid()) {
@@ -254,7 +254,7 @@ Result<std::shared_ptr<Dictionary>> PagedFragment::PinNumericDict(
   auto dict = std::make_shared<Dictionary>(
       Dictionary::FromSorted(type_, std::move(values)));
 
-  std::lock_guard<std::mutex> lock(num_dict_mu_);
+  MutexLock lock(num_dict_mu_);
   if (num_dict_ != nullptr) {
     PinnedResource p = PinnedResource::TryPin(rm_, num_dict_rid_);
     if (p.valid()) {
@@ -268,7 +268,7 @@ Result<std::shared_ptr<Dictionary>> PagedFragment::PinNumericDict(
   num_dict_rid_ = rm_->RegisterPinned(
       name_ + ".numdict", num_dict_->MemoryBytes(),
       Disposition::kPagedAttribute, pool_, [this, gen] {
-        std::lock_guard<std::mutex> lk(num_dict_mu_);
+        MutexLock lk(num_dict_mu_);
         if (num_dict_gen_ == gen) {
           num_dict_ = nullptr;
           num_dict_rid_ = kInvalidResourceId;
@@ -281,7 +281,7 @@ Result<std::shared_ptr<Dictionary>> PagedFragment::PinNumericDict(
 Status PagedFragment::MaybeRebuildIndex() {
   if (index_mode_ != IndexMode::kDeferred) return Status::OK();
   {
-    std::lock_guard<std::mutex> lock(index_mu_);
+    MutexLock lock(index_mu_);
     if (index_ != nullptr) return Status::OK();
   }
   if (point_lookups_.fetch_add(1) + 1 < index_build_threshold_) {
@@ -291,7 +291,7 @@ Status PagedFragment::MaybeRebuildIndex() {
 }
 
 Status PagedFragment::RebuildIndexNow() {
-  std::lock_guard<std::mutex> lock(index_mu_);
+  MutexLock lock(index_mu_);
   if (index_ != nullptr) return Status::OK();
   // The index is rebuilt from critical data only: one full pass over the
   // paged data vector (§8 — non-critical structures "can be recovered and
@@ -322,10 +322,10 @@ void PagedFragment::Unload() {
   if (data_ != nullptr) data_->Unload();
   if (dict_ != nullptr) dict_->Unload();
   {
-    std::lock_guard<std::mutex> lock(index_mu_);
+    MutexLock lock(index_mu_);
     if (index_ != nullptr) index_->Unload();
   }
-  std::lock_guard<std::mutex> lock(num_dict_mu_);
+  MutexLock lock(num_dict_mu_);
   if (num_dict_ != nullptr) {
     rm_->Unregister(num_dict_rid_);
     num_dict_ = nullptr;
@@ -344,13 +344,13 @@ uint64_t PagedFragment::ResidentBytes() const {
              storage_->options().dict_page_size;
   }
   {
-    std::lock_guard<std::mutex> lock(index_mu_);
+    MutexLock lock(index_mu_);
     if (index_ != nullptr) {
       bytes += index_->cache()->loaded_page_count() *
                storage_->options().page_size;
     }
   }
-  std::lock_guard<std::mutex> lock(num_dict_mu_);
+  MutexLock lock(num_dict_mu_);
   if (num_dict_ != nullptr) bytes += num_dict_->MemoryBytes();
   return bytes;
 }

@@ -3,9 +3,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 #include "buffer/resource_manager.h"
 #include "columnar/dictionary.h"
@@ -62,7 +63,7 @@ class PagedFragment : public MainFragment {
   uint64_t dict_size() const override { return dict_size_; }
   ValueType type() const override { return type_; }
   bool has_index() const override {
-    std::lock_guard<std::mutex> lock(index_mu_);
+    MutexLock lock(index_mu_);
     return index_ != nullptr;
   }
   bool is_paged() const override { return true; }
@@ -84,7 +85,10 @@ class PagedFragment : public MainFragment {
 
   PagedDataVector* data_vector() { return data_.get(); }
   PagedDictionary* paged_dictionary() { return dict_.get(); }
-  PagedInvertedIndex* inverted_index() { return index_.get(); }
+  PagedInvertedIndex* inverted_index() {
+    MutexLock lock(index_mu_);
+    return index_.get();
+  }
 
  private:
   friend class PagedReader;
@@ -106,22 +110,26 @@ class PagedFragment : public MainFragment {
   Status MaybeRebuildIndex();
   // Index access for readers under the deferred regime (may be null).
   PagedInvertedIndex* index() const {
-    std::lock_guard<std::mutex> lock(index_mu_);
+    MutexLock lock(index_mu_);
     return index_.get();
   }
 
   std::unique_ptr<PagedDataVector> data_;
   std::unique_ptr<PagedDictionary> dict_;    // string columns
-  mutable std::mutex index_mu_;
-  std::unique_ptr<PagedInvertedIndex> index_;
+  // index_mu_ guards the deferred-rebuild publication of the index; the
+  // PagedInvertedIndex object itself is internally thread-safe once built.
+  mutable Mutex index_mu_;
+  std::unique_ptr<PagedInvertedIndex> index_ GUARDED_BY(index_mu_);
   IndexMode index_mode_ = IndexMode::kNone;
   uint32_t index_build_threshold_ = 1;
   std::atomic<uint64_t> point_lookups_{0};
 
-  mutable std::mutex num_dict_mu_;
-  std::shared_ptr<Dictionary> num_dict_;     // numeric columns
-  ResourceId num_dict_rid_ = kInvalidResourceId;
-  uint64_t num_dict_gen_ = 0;
+  // Double-checked load state of the whole-loaded numeric dictionary; the
+  // generation detects eviction between unlock and re-lock.
+  mutable Mutex num_dict_mu_;
+  std::shared_ptr<Dictionary> num_dict_ GUARDED_BY(num_dict_mu_);
+  ResourceId num_dict_rid_ GUARDED_BY(num_dict_mu_) = kInvalidResourceId;
+  uint64_t num_dict_gen_ GUARDED_BY(num_dict_mu_) = 0;
 };
 
 }  // namespace payg

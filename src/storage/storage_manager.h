@@ -2,7 +2,6 @@
 #define PAYG_STORAGE_STORAGE_MANAGER_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/result.h"

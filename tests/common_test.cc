@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 
 #include "common/bit_util.h"
 #include "common/crc32.h"
+#include "common/env.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -161,6 +163,96 @@ TEST(Crc32Test, SensitiveToEveryByte) {
     std::string b = a;
     b[i] ^= 1;
     EXPECT_NE(Crc32c(b.data(), b.size()), base) << "byte " << i;
+  }
+}
+
+// Scoped setenv/unsetenv so env tests cannot leak into each other.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (value == nullptr) {
+      ::unsetenv(name);
+    } else {
+      ::setenv(name, value, /*overwrite=*/1);
+    }
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(EnvTest, LongUnsetFallsBack) {
+  ScopedEnv env("PAYG_TEST_KNOB", nullptr);
+  EXPECT_EQ(EnvLong("PAYG_TEST_KNOB", 1, 16, 4), 4);
+}
+
+TEST(EnvTest, LongParsesWellFormedValue) {
+  ScopedEnv env("PAYG_TEST_KNOB", "7");
+  EXPECT_EQ(EnvLong("PAYG_TEST_KNOB", 1, 16, 4), 7);
+}
+
+TEST(EnvTest, LongEmptyFallsBack) {
+  ScopedEnv env("PAYG_TEST_KNOB", "");
+  EXPECT_EQ(EnvLong("PAYG_TEST_KNOB", 1, 16, 4), 4);
+}
+
+TEST(EnvTest, LongGarbageFallsBack) {
+  ScopedEnv env("PAYG_TEST_KNOB", "many");
+  EXPECT_EQ(EnvLong("PAYG_TEST_KNOB", 1, 16, 4), 4);
+}
+
+TEST(EnvTest, LongTrailingGarbageFallsBack) {
+  ScopedEnv env("PAYG_TEST_KNOB", "7threads");
+  EXPECT_EQ(EnvLong("PAYG_TEST_KNOB", 1, 16, 4), 4);
+}
+
+TEST(EnvTest, LongOverflowFallsBack) {
+  // Far past LONG_MAX: strtol reports ERANGE, so the fallback wins (the
+  // value never half-parses to LONG_MAX and then clamps).
+  ScopedEnv env("PAYG_TEST_KNOB", "99999999999999999999999999");
+  EXPECT_EQ(EnvLong("PAYG_TEST_KNOB", 1, 16, 4), 4);
+}
+
+TEST(EnvTest, LongClampsToRange) {
+  {
+    ScopedEnv env("PAYG_TEST_KNOB", "1000");
+    EXPECT_EQ(EnvLong("PAYG_TEST_KNOB", 1, 16, 4), 16);
+  }
+  {
+    ScopedEnv env("PAYG_TEST_KNOB", "-3");
+    EXPECT_EQ(EnvLong("PAYG_TEST_KNOB", 1, 16, 4), 1);
+  }
+}
+
+TEST(EnvTest, FlagTrueOnlyWhenFirstCharIsOne) {
+  {
+    ScopedEnv env("PAYG_TEST_FLAG", "1");
+    EXPECT_TRUE(EnvFlag("PAYG_TEST_FLAG"));
+  }
+  {
+    ScopedEnv env("PAYG_TEST_FLAG", "0");
+    EXPECT_FALSE(EnvFlag("PAYG_TEST_FLAG"));
+  }
+  {
+    ScopedEnv env("PAYG_TEST_FLAG", "yes");
+    EXPECT_FALSE(EnvFlag("PAYG_TEST_FLAG"));
+  }
+  {
+    ScopedEnv env("PAYG_TEST_FLAG", nullptr);
+    EXPECT_FALSE(EnvFlag("PAYG_TEST_FLAG"));
+  }
+}
+
+TEST(EnvTest, RawReturnsValueOrNull) {
+  {
+    ScopedEnv env("PAYG_TEST_RAW", "avx2");
+    ASSERT_NE(EnvRaw("PAYG_TEST_RAW"), nullptr);
+    EXPECT_STREQ(EnvRaw("PAYG_TEST_RAW"), "avx2");
+  }
+  {
+    ScopedEnv env("PAYG_TEST_RAW", nullptr);
+    EXPECT_EQ(EnvRaw("PAYG_TEST_RAW"), nullptr);
   }
 }
 
