@@ -16,6 +16,7 @@
 
 #include "common/random.h"
 #include "encoding/bit_packing.h"
+#include "encoding/codec.h"
 #include "encoding/simd_dispatch.h"
 
 namespace payg {
@@ -103,6 +104,83 @@ void BM_SearchIn(benchmark::State& state, const PackedKernels* k,
   SetRate(state);
 }
 
+// --- codec kernels (S22) ---------------------------------------------------
+// The same primitives dispatched through the codec layer, once per codec,
+// over data with run structure (average run ≈ 12) and a nonzero floor so
+// FOR subtracts a real base and RLE's run catalog pays off. Names are
+// codec_<kernel>/<codec>/<tier>/<bits>.
+
+std::vector<ValueId> MakeCodecValues(uint32_t bits) {
+  Random rng(bits * 7 + 1);
+  const uint64_t mask = LowMask(bits);
+  const ValueId floor = static_cast<ValueId>(mask / 3);
+  const uint64_t span = mask - floor + 1;
+  std::vector<ValueId> v;
+  v.reserve(kSymbols);
+  while (v.size() < kSymbols) {
+    const uint64_t len = 1 + rng.Uniform(23);
+    ValueId val = floor + static_cast<ValueId>(rng.Uniform(span));
+    if (val == mask) val = floor;  // keep all-ones as the absent probe
+    for (uint64_t j = 0; j < len && v.size() < kSymbols; ++j) {
+      v.push_back(val);
+    }
+  }
+  return v;
+}
+
+struct CodecBuffer {
+  std::vector<uint64_t> words;
+  CodecChoice choice;
+  uint32_t aux2 = 0;
+};
+
+CodecBuffer EncodeAll(CodecId id, const std::vector<ValueId>& values,
+                      uint32_t bits) {
+  CodecBuffer b;
+  b.choice = MakeCodecChoice(id, values);
+  // Plain payload size is the upper bound for every codec (RLE escapes to
+  // plain when its catalog would overflow).
+  const uint32_t capacity = static_cast<uint32_t>(
+      CeilDiv(kSymbols, kChunkValues) * ChunkBytes(bits) + 8);
+  b.words.assign(capacity / 8, 0);
+  CodecEncodePage(b.choice, values.data(), values.size(),
+                  reinterpret_cast<uint8_t*>(b.words.data()), capacity,
+                  &b.aux2);
+  return b;
+}
+
+void BM_CodecMGet(benchmark::State& state, CodecId id, const PackedKernels* k,
+                  uint32_t bits) {
+  const auto values = MakeCodecValues(bits);
+  const CodecBuffer buf = EncodeAll(id, values, bits);
+  CodecPageView view{buf.words.data(), kSymbols, buf.aux2, buf.choice.params,
+                     k};
+  CodecStats stats;
+  std::vector<uint32_t> out(kSymbols);
+  for (auto _ : state) {
+    CodecMGet(id, view, 0, kSymbols, out.data(), &stats);
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetRate(state);
+}
+
+void BM_CodecSearchEq(benchmark::State& state, CodecId id,
+                      const PackedKernels* k, uint32_t bits) {
+  const auto values = MakeCodecValues(bits);
+  const CodecBuffer buf = EncodeAll(id, values, bits);
+  CodecPageView view{buf.words.data(), kSymbols, buf.aux2, buf.choice.params,
+                     k};
+  CodecStats stats;
+  const ValueId probe = static_cast<ValueId>(LowMask(bits));  // absent
+  std::vector<RowPos> out;
+  for (auto _ : state) {
+    out.clear();
+    CodecSearchEq(id, view, 0, kSymbols, probe, 0, &out, &stats);
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetRate(state);
+}
+
 void RegisterAll() {
   for (SimdLevel level :
        {SimdLevel::kScalar, SimdLevel::kSse42, SimdLevel::kAvx2}) {
@@ -123,6 +201,23 @@ void RegisterAll() {
       benchmark::RegisterBenchmark(("search_in/" + suffix).c_str(),
                                    BM_SearchIn, k, bits)
           ->Unit(benchmark::kMillisecond);
+    }
+    // Codec rows at two representative widths: a byte-ish code and the
+    // common dictionary-heavy width. All 32 widths are covered by the
+    // kernels above; here the codec dispatch overhead and the RLE
+    // run-catalog advantage are the measurement.
+    for (uint32_t bits : {8u, 16u}) {
+      for (CodecId id :
+           {CodecId::kPlain, CodecId::kFor, CodecId::kRle}) {
+        const std::string suffix = std::string(CodecName(id)) + "/" + tier +
+                                   "/" + std::to_string(bits);
+        benchmark::RegisterBenchmark(("codec_mget/" + suffix).c_str(),
+                                     BM_CodecMGet, id, k, bits)
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(("codec_search_eq/" + suffix).c_str(),
+                                     BM_CodecSearchEq, id, k, bits)
+            ->Unit(benchmark::kMillisecond);
+      }
     }
   }
 }

@@ -18,6 +18,7 @@
 #include "bench/bench_common.h"
 #include "buffer/resource_manager.h"
 #include "common/random.h"
+#include "encoding/codec.h"
 #include "exec/exec_context.h"
 #include "paged/page_cache.h"
 #include "paged/paged_data_vector.h"
@@ -69,7 +70,72 @@ void AppendJsonRuns(std::string* out, const ScanStats& st) {
   out->append("]");
 }
 
-void RunColdScanComparison(const BenchEnv& env) {
+// Compressed-scan section (S22): the same cold full-column scan once per
+// storage codec, over a column whose vid stream has both run structure
+// (runs of ~12) and a high floor (no vid below 2^16 occurs), so FOR cuts
+// the packed width and RLE cuts the decoded work. Records bytes on disk
+// (meta + data pages) and the cold scan time per codec; returns the
+// "codec_scan" JSON array for the committed BENCH_fig4.json.
+std::string RunCodecScanComparison(const BenchEnv& env) {
+  const uint32_t latency_us =
+      static_cast<uint32_t>(EnvU64("PAYG_SCAN_LATENCY_US", 1000));
+  const int reps = static_cast<int>(EnvU64("PAYG_SCAN_REPS", 5));
+  const uint32_t window = DefaultReadaheadWindow();
+
+  StorageOptions opts;
+  opts.page_size = static_cast<uint32_t>(EnvU64("PAYG_PAGE_SIZE", 8 * 1024));
+  opts.simulated_read_latency_us = latency_us;
+  const std::string dir = env.dir + "_codec";
+  std::filesystem::remove_all(dir);
+  auto storage = StorageManager::Open(dir, opts);
+  BENCH_CHECK_OK(storage);
+  ResourceManager rm;
+
+  std::vector<ValueId> vids(env.rows);
+  for (uint64_t i = 0; i < env.rows; ++i) {
+    vids[i] = static_cast<ValueId>((1u << 16) + (i / 12) % 1000);
+  }
+
+  std::printf("# fig4 codec scan — rows=%llu latency_us=%u "
+              "readahead_window=%u reps=%d\n",
+              static_cast<unsigned long long>(env.rows), latency_us, window,
+              reps);
+  std::string json = "[";
+  for (CodecId id : {CodecId::kPlain, CodecId::kFor, CodecId::kRle}) {
+    const CodecChoice choice = MakeCodecChoice(id, vids);
+    auto dv = PagedDataVector::Build(storage->get(), &rm, PoolId::kPagedPool,
+                                     std::string("codec_col_") + CodecName(id),
+                                     vids, choice);
+    BENCH_CHECK_OK(dv);
+    const uint64_t pages = (*dv)->data_page_count();
+    const uint64_t bytes = (1 + pages) * opts.page_size;
+    ScanStats st = ColdScan(dv->get(), window, reps);
+    std::printf("fig4_codec: %-5s bits=%u pages=%llu bytes_on_disk=%llu "
+                "mean_ms=%.2f\n",
+                CodecName(id), choice.params.bits,
+                static_cast<unsigned long long>(pages),
+                static_cast<unsigned long long>(bytes), st.mean_ms);
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    {\"codec\": \"%s\", \"bits\": %u, "
+                  "\"data_pages\": %llu, \"bytes_on_disk\": %llu, "
+                  "\"scan_ms\": ",
+                  id == CodecId::kPlain ? "" : ",", CodecName(id),
+                  choice.params.bits, static_cast<unsigned long long>(pages),
+                  static_cast<unsigned long long>(bytes));
+    json += buf;
+    AppendJsonRuns(&json, st);
+    std::snprintf(buf, sizeof(buf), ", \"mean_ms\": %.3f}", st.mean_ms);
+    json += buf;
+  }
+  json += "\n  ]";
+
+  storage->reset();
+  std::filesystem::remove_all(dir);
+  return json;
+}
+
+void RunColdScanComparison(const BenchEnv& env, const std::string& codec_json) {
   // Run this section at a latency where PageFile sleeps instead of spinning
   // (1 ms threshold) so prefetch reads genuinely overlap with decode even on
   // small machines; overridable for experiments on faster "devices".
@@ -132,12 +198,13 @@ void RunColdScanComparison(const BenchEnv& env) {
                   ",\n  \"mean_off_ms\": %.3f,\n  \"mean_on_ms\": %.3f,\n"
                   "  \"speedup\": %.3f,\n"
                   "  \"prefetch_issued\": %llu,\n  \"prefetch_hits\": %llu,\n"
-                  "  \"prefetch_wasted\": %llu\n}\n",
+                  "  \"prefetch_wasted\": %llu,\n",
                   off.mean_ms, on.mean_ms, speedup,
                   static_cast<unsigned long long>(on.prefetch_issued),
                   static_cast<unsigned long long>(on.prefetch_hits),
                   static_cast<unsigned long long>(on.prefetch_wasted));
     json += buf;
+    json += "  \"codec_scan\": " + codec_json + "\n}\n";
     std::FILE* f = std::fopen(path, "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot write %s\n", path);
@@ -160,7 +227,8 @@ int main() {
   using namespace payg;
   using namespace payg::bench;
   BenchEnv env = ReadEnv("fig4");
-  RunColdScanComparison(env);
+  std::string codec_json = RunCodecScanComparison(env);
+  RunColdScanComparison(env, codec_json);
   if (EnvU64("PAYG_SCAN_ONLY", 0) != 0) return 0;
   std::printf("# Fig 4 — Q_pk^num on T_b vs T_p: rows=%llu queries=%llu "
               "latency_us=%u\n",

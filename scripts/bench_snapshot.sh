@@ -17,9 +17,10 @@ BUILD="${1:-build}"
 cmake --build "$BUILD" -j --target bench_fig1_primitives bench_fig4_data_vector bench_exec_scaling
 
 # fig1: the acceptance-relevant kernels (mget + search_eq) on every available
-# tier at every bit width. Widen or drop the filter for full sweeps
-# (search_range / search_in are registered too).
-FILTER="${PAYG_FIG1_FILTER:-^(mget|search_eq)/}"
+# tier at every bit width, plus the codec-dispatched variants (S22) per
+# codec at the two representative widths. Widen or drop the filter for full
+# sweeps (search_range / search_in are registered too).
+FILTER="${PAYG_FIG1_FILTER:-^(mget|search_eq|codec_mget|codec_search_eq)/}"
 "$BUILD"/bench/bench_fig1_primitives \
   --benchmark_filter="$FILTER" \
   --benchmark_min_time="${PAYG_FIG1_MIN_TIME:-0.2}" \

@@ -30,10 +30,11 @@ cmake --build "$BUILD-tsan" -j --target buffer_test exec_test obs_test paged_tes
 "$BUILD-tsan"/tests/paged_test
 "$BUILD-tsan"/tests/cache_stress_test
 
-echo "== ASan+UBSan build: buffer + cache-stress suites =="
+echo "== ASan+UBSan build: buffer + cache-stress + codec suites =="
 cmake -B "$BUILD-asan" -S . -DPAYG_SANITIZE=address+undefined >/dev/null
-cmake --build "$BUILD-asan" -j --target buffer_test cache_stress_test
+cmake --build "$BUILD-asan" -j --target buffer_test cache_stress_test codec_test
 "$BUILD-asan"/tests/buffer_test
 "$BUILD-asan"/tests/cache_stress_test
+"$BUILD-asan"/tests/codec_test
 
 echo "check.sh: all green"

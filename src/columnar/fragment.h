@@ -70,6 +70,12 @@ class MainFragment {
   virtual bool has_index() const = 0;
   virtual bool is_paged() const = 0;
 
+  // Display name of the data vector's storage codec (S22). Fully resident
+  // fragments keep the in-memory packed/sparse encoding and report
+  // "resident"; paged fragments report the persisted codec ("plain",
+  // "for", "rle").
+  virtual const char* codec_name() const { return "resident"; }
+
   // Creates a per-query reader. For a fully resident fragment this triggers
   // the full column load on first access; for a paged fragment it is cheap
   // and pages load lazily as the reader touches them. When `ctx` is given,

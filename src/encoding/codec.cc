@@ -1,0 +1,440 @@
+#include "encoding/codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bit_util.h"
+#include "common/env.h"
+#include "encoding/bit_packing.h"
+
+namespace payg {
+
+namespace {
+
+// Payload bytes of `n` plain-packed values: whole chunks plus the spare
+// word that keeps the kernels' unaligned 8-byte window inside the buffer.
+uint32_t PlainPayloadBytes(uint64_t n, uint32_t bits) {
+  return static_cast<uint32_t>(CeilDiv(n, kChunkValues) * ChunkBytes(bits) +
+                               sizeof(uint64_t));
+}
+
+const PackedKernels& Tier(const CodecPageView& v) {
+  return v.kernels != nullptr ? *v.kernels : ActiveKernels();
+}
+
+// --- plain -----------------------------------------------------------------
+
+ValueId PlainGet(const CodecPageView& v, uint64_t idx) {
+  return static_cast<ValueId>(PackedGet(v.words, v.params.bits, idx));
+}
+
+void PlainMGet(const CodecPageView& v, uint64_t from, uint64_t to,
+               uint32_t* out) {
+  Tier(v).mget[v.params.bits](v.words, from, to, out);
+}
+
+void PlainSearchEq(const CodecPageView& v, uint64_t from, uint64_t to,
+                   ValueId vid, RowPos base, std::vector<RowPos>* out) {
+  if (vid > LowMask(v.params.bits)) return;  // wider than any stored value
+  Tier(v).search_eq[v.params.bits](v.words, from, to, vid, base, out);
+}
+
+void PlainSearchRange(const CodecPageView& v, uint64_t from, uint64_t to,
+                      ValueId lo, ValueId hi, RowPos base,
+                      std::vector<RowPos>* out) {
+  const uint64_t mask = LowMask(v.params.bits);
+  if (lo > hi || lo > mask) return;
+  Tier(v).search_range[v.params.bits](v.words, from, to, lo,
+                                      std::min<uint64_t>(hi, mask), base, out);
+}
+
+void PlainSearchIn(const CodecPageView& v, uint64_t from, uint64_t to,
+                   const std::vector<ValueId>& sorted_vids, RowPos base,
+                   std::vector<RowPos>* out) {
+  const uint64_t mask = LowMask(v.params.bits);
+  const PackedKernels& t = Tier(v);
+  if (sorted_vids.back() <= mask) {
+    t.search_in[v.params.bits](v.words, from, to, sorted_vids, base, out);
+    return;
+  }
+  std::vector<ValueId> trimmed(
+      sorted_vids.begin(),
+      std::upper_bound(sorted_vids.begin(), sorted_vids.end(),
+                       static_cast<ValueId>(mask)));
+  if (trimmed.empty()) return;
+  t.search_in[v.params.bits](v.words, from, to, trimmed, base, out);
+}
+
+// --- FOR -------------------------------------------------------------------
+// The payload is plain-packed residuals (vid - base), so every kernel is the
+// plain kernel with the predicate translated into residual space and the
+// decode output translated back.
+
+ValueId ForGet(const CodecPageView& v, uint64_t idx) {
+  return static_cast<ValueId>(PackedGet(v.words, v.params.bits, idx) +
+                              v.params.for_base);
+}
+
+void ForMGet(const CodecPageView& v, uint64_t from, uint64_t to,
+             uint32_t* out) {
+  Tier(v).mget[v.params.bits](v.words, from, to, out);
+  const ValueId base = v.params.for_base;
+  for (uint64_t i = 0; i < to - from; ++i) out[i] += base;
+}
+
+void ForSearchEq(const CodecPageView& v, uint64_t from, uint64_t to,
+                 ValueId vid, RowPos base, std::vector<RowPos>* out) {
+  if (vid < v.params.for_base) return;
+  const uint64_t residual = vid - v.params.for_base;
+  if (residual > LowMask(v.params.bits)) return;
+  Tier(v).search_eq[v.params.bits](v.words, from, to, residual, base, out);
+}
+
+void ForSearchRange(const CodecPageView& v, uint64_t from, uint64_t to,
+                    ValueId lo, ValueId hi, RowPos base,
+                    std::vector<RowPos>* out) {
+  if (lo > hi || hi < v.params.for_base) return;
+  const uint64_t mask = LowMask(v.params.bits);
+  const uint64_t rlo = lo <= v.params.for_base ? 0 : lo - v.params.for_base;
+  if (rlo > mask) return;
+  const uint64_t rhi = std::min<uint64_t>(hi - v.params.for_base, mask);
+  Tier(v).search_range[v.params.bits](v.words, from, to, rlo, rhi, base, out);
+}
+
+// --- RLE -------------------------------------------------------------------
+// Page image: u32 run_ends[R] (cumulative page-local positions,
+// run_ends[R-1] == n), padded to 8 bytes, then the R run values packed at
+// the plain width (+1 spare word). aux2 == kRleEscapeAux marks a page that
+// was stored plain because its run catalog would not fit.
+
+struct RleImage {
+  const uint32_t* ends;
+  const uint64_t* vals;
+  uint32_t runs;
+};
+
+RleImage RleOf(const CodecPageView& v) {
+  const uint32_t runs = v.aux2;
+  return RleImage{reinterpret_cast<const uint32_t*>(v.words),
+                  v.words + AlignUp(uint64_t{4} * runs, 8) / 8, runs};
+}
+
+// Index of the run containing page-local position `pos`.
+uint32_t RleRunOf(const RleImage& r, uint64_t pos) {
+  return static_cast<uint32_t>(
+      std::upper_bound(r.ends, r.ends + r.runs, static_cast<uint32_t>(pos)) -
+      r.ends);
+}
+
+ValueId RleGet(const CodecPageView& v, uint64_t idx) {
+  if (v.aux2 == kRleEscapeAux) return PlainGet(v, idx);
+  const RleImage r = RleOf(v);
+  return static_cast<ValueId>(
+      PackedGet(r.vals, v.params.bits, RleRunOf(r, idx)));
+}
+
+void RleMGet(const CodecPageView& v, uint64_t from, uint64_t to,
+             uint32_t* out) {
+  if (v.aux2 == kRleEscapeAux) {
+    PlainMGet(v, from, to, out);
+    return;
+  }
+  if (from >= to) return;
+  const RleImage r = RleOf(v);
+  uint64_t pos = from;
+  for (uint32_t run = RleRunOf(r, from); pos < to; ++run) {
+    const uint64_t end = std::min<uint64_t>(r.ends[run], to);
+    const uint32_t val =
+        static_cast<uint32_t>(PackedGet(r.vals, v.params.bits, run));
+    std::fill(out + (pos - from), out + (end - from), val);
+    pos = end;
+  }
+}
+
+// Run-skipping search: touch each overlapping run once, append whole
+// position ranges for matching runs (O(runs), not O(rows)).
+template <typename Match>
+void RleScanRuns(const CodecPageView& v, uint64_t from, uint64_t to,
+                 RowPos base, std::vector<RowPos>* out, Match match) {
+  const RleImage r = RleOf(v);
+  uint64_t pos = from;
+  for (uint32_t run = RleRunOf(r, from); pos < to; ++run) {
+    const uint64_t end = std::min<uint64_t>(r.ends[run], to);
+    if (match(PackedGet(r.vals, v.params.bits, run))) {
+      for (uint64_t p = pos; p < end; ++p) {
+        out->push_back(base + static_cast<RowPos>(p - from));
+      }
+    }
+    pos = end;
+  }
+}
+
+void RleSearchEq(const CodecPageView& v, uint64_t from, uint64_t to,
+                 ValueId vid, RowPos base, std::vector<RowPos>* out) {
+  if (v.aux2 == kRleEscapeAux) {
+    PlainSearchEq(v, from, to, vid, base, out);
+    return;
+  }
+  if (from >= to) return;
+  RleScanRuns(v, from, to, base, out,
+              [vid](uint64_t x) { return x == vid; });
+}
+
+void RleSearchRange(const CodecPageView& v, uint64_t from, uint64_t to,
+                    ValueId lo, ValueId hi, RowPos base,
+                    std::vector<RowPos>* out) {
+  if (v.aux2 == kRleEscapeAux) {
+    PlainSearchRange(v, from, to, lo, hi, base, out);
+    return;
+  }
+  if (from >= to || lo > hi) return;
+  RleScanRuns(v, from, to, base, out,
+              [lo, hi](uint64_t x) { return x >= lo && x <= hi; });
+}
+
+// --- fallback --------------------------------------------------------------
+// Decode the range into scratch with the codec's native mget and run the
+// predicate scalar. The production path for (codec, kernel) pairs without a
+// native row in the table (today: FOR/RLE search_in).
+
+template <typename Pred>
+void FallbackFilter(CodecId id, const CodecPageView& v, uint64_t from,
+                    uint64_t to, RowPos base, std::vector<RowPos>* out,
+                    CodecStats* stats, Pred pred) {
+  std::vector<ValueId> local;
+  std::vector<ValueId>& scratch = stats != nullptr ? stats->scratch : local;
+  if (scratch.size() < to - from) scratch.resize(to - from);
+  CodecKernelTable(id).mget(v, from, to, scratch.data());
+  for (uint64_t i = 0; i < to - from; ++i) {
+    if (pred(scratch[i])) out->push_back(base + static_cast<RowPos>(i));
+  }
+}
+
+}  // namespace
+
+const char* CodecName(CodecId id) {
+  switch (id) {
+    case CodecId::kPlain:
+      return "plain";
+    case CodecId::kFor:
+      return "for";
+    case CodecId::kRle:
+      return "rle";
+  }
+  return "unknown";
+}
+
+CodecForce ForcedCodec() {
+  static const CodecForce force = [] {
+    const char* s = EnvRaw("PAYG_FORCE_CODEC");
+    if (s == nullptr) return CodecForce::kAuto;
+    if (std::strcmp(s, "plain") == 0) return CodecForce::kPlain;
+    if (std::strcmp(s, "for") == 0) return CodecForce::kFor;
+    if (std::strcmp(s, "rle") == 0) return CodecForce::kRle;
+    return CodecForce::kAuto;  // "auto" and unrecognized values
+  }();
+  return force;
+}
+
+uint64_t CodecSampleRows() {
+  static const long rows =
+      EnvLong("PAYG_CODEC_SAMPLE_ROWS", 64, 1L << 30, 65536);
+  return static_cast<uint64_t>(rows);
+}
+
+CodecChoice MakeCodecChoice(CodecId id, const std::vector<ValueId>& vids) {
+  ValueId mn = 0, mx = 0;
+  if (!vids.empty()) {
+    mn = kInvalidValueId;
+    for (ValueId v : vids) {
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+  }
+  CodecChoice choice;
+  choice.id = id;
+  switch (id) {
+    case CodecId::kPlain:
+    case CodecId::kRle:
+      choice.params.bits = BitsNeeded(mx);
+      break;
+    case CodecId::kFor:
+      choice.params.for_base = mn;
+      choice.params.bits = BitsNeeded(mx - mn);
+      break;
+  }
+  return choice;
+}
+
+CodecChoice ChooseCodec(const std::vector<ValueId>& vids) {
+  if (vids.empty()) return MakeCodecChoice(CodecId::kPlain, vids);
+  ValueId mn = kInvalidValueId, mx = 0;
+  for (ValueId v : vids) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  const uint32_t bits_plain = BitsNeeded(mx);
+  const uint32_t bits_for = BitsNeeded(mx - mn);
+
+  // Run density from sampled adjacent pairs (PAYG_CODEC_SAMPLE_ROWS caps
+  // the sample; min/max above are exact — the FOR base must be the true
+  // minimum or residuals would underflow).
+  const uint64_t pairs = vids.size() - 1;
+  const uint64_t sample = std::min(pairs, CodecSampleRows());
+  double runs_per_row = 1.0;
+  if (sample > 0) {
+    const uint64_t stride = pairs / sample;
+    uint64_t transitions = 0, seen = 0;
+    for (uint64_t i = 0; seen < sample && i < pairs; i += stride, ++seen) {
+      transitions += vids[i] != vids[i + 1] ? 1 : 0;
+    }
+    runs_per_row = static_cast<double>(transitions + 1) /
+                   static_cast<double>(seen + 1);
+  }
+
+  // Cost = effective bits per row × relative scan cost. Plain and FOR scan
+  // every row (factor 1); RLE touches ~one catalog entry per run, modeled
+  // as a small constant plus the run density. Strict less-than keeps plain
+  // the winner on ties (compatibility default).
+  const double cost_plain = static_cast<double>(bits_plain);
+  const double cost_for = static_cast<double>(bits_for) + 0.01;
+  const double cost_rle =
+      static_cast<double>(bits_plain) * (0.1 + 4.0 * runs_per_row) + 0.01;
+
+  CodecId best = CodecId::kPlain;
+  double best_cost = cost_plain;
+  if (cost_for < best_cost) {
+    best = CodecId::kFor;
+    best_cost = cost_for;
+  }
+  if (cost_rle < best_cost) best = CodecId::kRle;
+  return MakeCodecChoice(best, vids);
+}
+
+CodecChoice ResolveCodec(CodecForce force, const std::vector<ValueId>& vids) {
+  if (force == CodecForce::kAuto) force = ForcedCodec();
+  if (force == CodecForce::kAuto) return ChooseCodec(vids);
+  return MakeCodecChoice(static_cast<CodecId>(static_cast<int>(force)), vids);
+}
+
+uint64_t CodecValuesPerPage(uint32_t payload_bytes,
+                            const CodecChoice& choice) {
+  // Whole chunks at the packed width, one spare word for the kernels'
+  // 8-byte window overread. RLE uses the plain capacity so its escape
+  // encoding always fits and row→page mapping matches plain exactly.
+  return (payload_bytes - sizeof(uint64_t)) / ChunkBytes(choice.params.bits) *
+         kChunkValues;
+}
+
+uint32_t CodecEncodePage(const CodecChoice& choice, const ValueId* vids,
+                         uint64_t n, uint8_t* payload, uint32_t capacity,
+                         uint32_t* aux2) {
+  std::memset(payload, 0, capacity);
+  *aux2 = 0;
+  uint64_t* words = reinterpret_cast<uint64_t*>(payload);
+  const uint32_t bits = choice.params.bits;
+
+  if (choice.id == CodecId::kRle) {
+    uint64_t runs = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      if (i == 0 || vids[i] != vids[i - 1]) ++runs;
+    }
+    const uint64_t catalog_bytes = AlignUp(4 * runs, 8);
+    const uint64_t vals_bytes = (CeilDiv(runs * bits, 64) + 1) * 8;
+    if (catalog_bytes + vals_bytes <= capacity) {
+      uint32_t* ends = reinterpret_cast<uint32_t*>(payload);
+      uint64_t* vals = words + catalog_bytes / 8;
+      uint32_t run = 0;
+      for (uint64_t i = 0; i < n; ++i) {
+        if (i == 0 || vids[i] != vids[i - 1]) {
+          PackedSet(vals, bits, run, vids[i]);
+          ++run;
+        }
+        ends[run - 1] = static_cast<uint32_t>(i + 1);
+      }
+      *aux2 = static_cast<uint32_t>(runs);
+      return static_cast<uint32_t>(catalog_bytes + vals_bytes);
+    }
+    *aux2 = kRleEscapeAux;  // catalog too dense: store the page plain
+    for (uint64_t i = 0; i < n; ++i) PackedSet(words, bits, i, vids[i]);
+    return PlainPayloadBytes(n, bits);
+  }
+
+  const ValueId base =
+      choice.id == CodecId::kFor ? choice.params.for_base : 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    PackedSet(words, bits, i, vids[i] - base);
+  }
+  return PlainPayloadBytes(n, bits);
+}
+
+const CodecKernels& CodecKernelTable(CodecId id) {
+  // The codec dimension of the (codec × kernel × tier) dispatch: each row's
+  // functions resolve the tier through CodecPageView::kernels. Null entries
+  // (FOR/RLE search_in) take the decode-into-scratch fallback.
+  static const CodecKernels tables[kCodecCount] = {
+      {PlainGet, PlainMGet, PlainSearchEq, PlainSearchRange, PlainSearchIn},
+      {ForGet, ForMGet, ForSearchEq, ForSearchRange, nullptr},
+      {RleGet, RleMGet, RleSearchEq, RleSearchRange, nullptr},
+  };
+  return tables[static_cast<size_t>(id)];
+}
+
+ValueId CodecGetValue(CodecId id, const CodecPageView& v, uint64_t idx) {
+  return CodecKernelTable(id).get(v, idx);
+}
+
+void CodecMGet(CodecId id, const CodecPageView& v, uint64_t from, uint64_t to,
+               uint32_t* out, CodecStats* stats) {
+  if (from >= to) return;
+  if (stats != nullptr) ++stats->native;  // mget is never table-less
+  CodecKernelTable(id).mget(v, from, to, out);
+}
+
+void CodecSearchEq(CodecId id, const CodecPageView& v, uint64_t from,
+                   uint64_t to, ValueId vid, RowPos base,
+                   std::vector<RowPos>* out, CodecStats* stats) {
+  if (from >= to) return;
+  const CodecKernels& k = CodecKernelTable(id);
+  if (k.search_eq != nullptr) {
+    if (stats != nullptr) ++stats->native;
+    k.search_eq(v, from, to, vid, base, out);
+    return;
+  }
+  if (stats != nullptr) ++stats->fallback;
+  FallbackFilter(id, v, from, to, base, out, stats,
+                 [vid](ValueId x) { return x == vid; });
+}
+
+void CodecSearchRange(CodecId id, const CodecPageView& v, uint64_t from,
+                      uint64_t to, ValueId lo, ValueId hi, RowPos base,
+                      std::vector<RowPos>* out, CodecStats* stats) {
+  if (from >= to || lo > hi) return;
+  const CodecKernels& k = CodecKernelTable(id);
+  if (k.search_range != nullptr) {
+    if (stats != nullptr) ++stats->native;
+    k.search_range(v, from, to, lo, hi, base, out);
+    return;
+  }
+  if (stats != nullptr) ++stats->fallback;
+  FallbackFilter(id, v, from, to, base, out, stats,
+                 [lo, hi](ValueId x) { return x >= lo && x <= hi; });
+}
+
+void CodecSearchIn(CodecId id, const CodecPageView& v, uint64_t from,
+                   uint64_t to, const std::vector<ValueId>& sorted_vids,
+                   RowPos base, std::vector<RowPos>* out, CodecStats* stats) {
+  if (from >= to || sorted_vids.empty()) return;
+  const CodecKernels& k = CodecKernelTable(id);
+  if (k.search_in != nullptr) {
+    if (stats != nullptr) ++stats->native;
+    k.search_in(v, from, to, sorted_vids, base, out);
+    return;
+  }
+  if (stats != nullptr) ++stats->fallback;
+  FallbackFilter(id, v, from, to, base, out, stats, [&sorted_vids](ValueId x) {
+    return std::binary_search(sorted_vids.begin(), sorted_vids.end(), x);
+  });
+}
+
+}  // namespace payg

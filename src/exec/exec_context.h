@@ -24,6 +24,8 @@ struct QueryStats {
   std::atomic<uint64_t> partitions_visited{0};
   std::atomic<uint64_t> prefetch_issued{0};  // readahead loads this query asked for
   std::atomic<uint64_t> prefetch_hits{0};    // pins served by a prefetched page
+  std::atomic<uint64_t> codec_native{0};     // kernels run on compressed form
+  std::atomic<uint64_t> codec_fallback{0};   // kernels via decode-into-scratch
 
   // Plain-integer copy for reporting (benchmarks, logs, tests).
   struct Snapshot {
@@ -36,6 +38,8 @@ struct QueryStats {
     uint64_t partitions_visited = 0;
     uint64_t prefetch_issued = 0;
     uint64_t prefetch_hits = 0;
+    uint64_t codec_native = 0;
+    uint64_t codec_fallback = 0;
   };
 
   Snapshot snapshot() const {
@@ -49,6 +53,8 @@ struct QueryStats {
     s.partitions_visited = partitions_visited.load(std::memory_order_relaxed);
     s.prefetch_issued = prefetch_issued.load(std::memory_order_relaxed);
     s.prefetch_hits = prefetch_hits.load(std::memory_order_relaxed);
+    s.codec_native = codec_native.load(std::memory_order_relaxed);
+    s.codec_fallback = codec_fallback.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -69,6 +75,9 @@ struct QueryStats {
     static obs::Counter* prefetch_issued =
         reg.counter("query.prefetch_issued");
     static obs::Counter* prefetch_hits = reg.counter("query.prefetch_hits");
+    static obs::Counter* codec_native = reg.counter("query.codec_native");
+    static obs::Counter* codec_fallback =
+        reg.counter("query.codec_fallback");
     pages_pinned->Add(s.pages_pinned);
     pages_read->Add(s.pages_read);
     bytes_read->Add(s.bytes_read);
@@ -78,6 +87,8 @@ struct QueryStats {
     partitions_visited->Add(s.partitions_visited);
     prefetch_issued->Add(s.prefetch_issued);
     prefetch_hits->Add(s.prefetch_hits);
+    codec_native->Add(s.codec_native);
+    codec_fallback->Add(s.codec_fallback);
   }
 };
 
@@ -161,6 +172,13 @@ inline void CountPrefetchIssued(ExecContext* ctx) {
 inline void CountPrefetchHit(ExecContext* ctx) {
   if (ctx != nullptr) {
     ctx->stats.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+inline void CountCodecKernels(ExecContext* ctx, uint64_t native,
+                              uint64_t fallback) {
+  if (ctx != nullptr) {
+    ctx->stats.codec_native.fetch_add(native, std::memory_order_relaxed);
+    ctx->stats.codec_fallback.fetch_add(fallback, std::memory_order_relaxed);
   }
 }
 

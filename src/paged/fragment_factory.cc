@@ -16,7 +16,7 @@ Result<std::unique_ptr<MainFragment>> BuildMainFragment(
                            : PagedFragment::IndexMode::kEager;
     auto frag = PagedFragment::Build(storage, rm, spec.pool, name, type,
                                      sorted_dict_values, vids, mode,
-                                     spec.index_build_threshold);
+                                     spec.index_build_threshold, spec.codec);
     if (!frag.ok()) return frag.status();
     return std::unique_ptr<MainFragment>(std::move(*frag));
   }

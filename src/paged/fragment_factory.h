@@ -7,6 +7,7 @@
 
 #include "buffer/resource_manager.h"
 #include "columnar/fragment.h"
+#include "encoding/codec.h"
 #include "storage/storage_manager.h"
 
 namespace payg {
@@ -27,6 +28,10 @@ struct FragmentSpec {
   // Pool for the pages of a page loadable fragment; cold partitions use
   // kColdPagedPool (§4.1).
   PoolId pool = PoolId::kPagedPool;
+  // Storage codec of the paged data vector (S22). kAuto runs the selection
+  // pass (PAYG_FORCE_CODEC, then the per-column cost model); a fixed value
+  // pins the codec regardless of the knob.
+  CodecForce codec = CodecForce::kAuto;
 };
 
 // Builds and persists a main fragment from sorted dictionary values and the

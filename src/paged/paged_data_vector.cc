@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "exec/exec_context.h"
+#include "obs/metrics.h"
 #include "storage/byte_stream.h"
 
 namespace payg {
@@ -15,10 +16,54 @@ std::string SummaryChainName(const std::string& name) {
   return name + ".dvsum";
 }
 
-// Chunks that fit a page payload, leaving one spare word so the packed
-// kernels' 8-byte window overread stays inside the payload buffer.
-uint64_t ChunksPerPage(uint32_t payload_bytes, uint32_t bits) {
-  return (payload_bytes - sizeof(uint64_t)) / ChunkBytes(bits);
+// Meta page formats. Version 0 (the pre-codec layout, 24-byte payload) had
+// no version field: bits u32 @0, row_count u64 @8, values_per_page u64 @16.
+// Version 1 (36-byte payload) is distinguished by payload size and carries
+// an explicit version word plus the codec identity:
+//   u32 version (== 1)   @0
+//   u32 bits             @4
+//   u64 row_count        @8
+//   u64 values_per_page  @16
+//   u8  codec_id         @24  (+3 pad bytes)
+//   u32 for_base         @28
+//   u32 reserved         @32
+constexpr uint32_t kMetaV0PayloadSize = 24;
+constexpr uint32_t kMetaV1PayloadSize = 36;
+constexpr uint32_t kMetaVersion = 1;
+
+Status ValidateGeometry(uint32_t bits, uint64_t values_per_page) {
+  if (bits < 1 || bits > 32) {
+    return Status::Corruption("data vector meta: bits out of range [1, 32]");
+  }
+  if (values_per_page == 0 || values_per_page % kChunkValues != 0) {
+    return Status::Corruption(
+        "data vector meta: values_per_page not a positive multiple of 64");
+  }
+  return Status::OK();
+}
+
+// Build-side codec accounting: selection counts, encoded payload bytes, and
+// the forced-knob gauge (0 = auto, 1 + codec id when PAYG_FORCE_CODEC pins
+// one). Registry pointers are process-lifetime (find-or-create, stable).
+void RecordCodecBuild(CodecId id, uint64_t payload_bytes) {
+  auto& reg = obs::MetricsRegistry::Global();
+  static obs::Counter* selected[kCodecCount] = {
+      reg.counter("codec.selected.plain"),
+      reg.counter("codec.selected.for"),
+      reg.counter("codec.selected.rle"),
+  };
+  static obs::Counter* bytes[kCodecCount] = {
+      reg.counter("codec.bytes.plain"),
+      reg.counter("codec.bytes.for"),
+      reg.counter("codec.bytes.rle"),
+  };
+  static obs::Gauge* forced = reg.gauge("codec.forced");
+  const auto idx = static_cast<size_t>(id);
+  selected[idx]->Add(1);
+  bytes[idx]->Add(payload_bytes);
+  forced->Set(ForcedCodec() == CodecForce::kAuto
+                  ? 0
+                  : 1 + static_cast<int64_t>(ForcedCodec()));
 }
 
 }  // namespace
@@ -26,36 +71,48 @@ uint64_t ChunksPerPage(uint32_t payload_bytes, uint32_t bits) {
 Result<std::unique_ptr<PagedDataVector>> PagedDataVector::Build(
     StorageManager* storage, ResourceManager* rm, PoolId pool,
     const std::string& name, const std::vector<ValueId>& vids) {
+  return Build(storage, rm, pool, name, vids,
+               ResolveCodec(CodecForce::kAuto, vids));
+}
+
+Result<std::unique_ptr<PagedDataVector>> PagedDataVector::Build(
+    StorageManager* storage, ResourceManager* rm, PoolId pool,
+    const std::string& name, const std::vector<ValueId>& vids,
+    const CodecChoice& choice) {
   const uint32_t page_size = storage->options().page_size;
   PAYG_ASSIGN_OR_RETURN(auto file,
                         storage->CreateChain(ChainName(name), page_size));
 
-  ValueId max_vid = 0;
-  for (ValueId v : vids) max_vid = std::max(max_vid, v);
-  const uint32_t bits = BitsNeeded(max_vid);
-
   Page probe(page_size);
-  const uint64_t chunks_per_page = ChunksPerPage(probe.capacity(), bits);
-  PAYG_ASSERT_MSG(chunks_per_page > 0, "page too small for one chunk");
-  const uint64_t values_per_page = chunks_per_page * kChunkValues;
+  const uint64_t values_per_page =
+      CodecValuesPerPage(probe.capacity(), choice);
+  PAYG_ASSERT_MSG(values_per_page > 0, "page too small for one chunk");
 
-  // Meta page (page 0).
+  // Meta page (page 0, version 1 layout above).
   {
     Page meta(page_size);
     meta.set_type(PageType::kMeta);
     uint8_t* p = meta.payload();
-    uint64_t row_count = vids.size();
-    std::memcpy(p, &bits, sizeof(bits));
+    const uint32_t version = kMetaVersion;
+    const uint64_t row_count = vids.size();
+    const uint8_t codec_id = static_cast<uint8_t>(choice.id);
+    std::memcpy(p, &version, sizeof(version));
+    std::memcpy(p + 4, &choice.params.bits, sizeof(choice.params.bits));
     std::memcpy(p + 8, &row_count, sizeof(row_count));
     std::memcpy(p + 16, &values_per_page, sizeof(values_per_page));
-    meta.set_payload_size(24);
+    p[24] = codec_id;
+    std::memcpy(p + 28, &choice.params.for_base,
+                sizeof(choice.params.for_base));
+    meta.set_payload_size(kMetaV1PayloadSize);
     auto r = file->AppendPage(&meta);
     if (!r.ok()) return r.status();
   }
 
-  // Data pages: pack values_per_page identifiers per page, collecting the
-  // per-page min/max summary as we go (§3.3).
+  // Data pages: encode values_per_page identifiers per page through the
+  // chosen codec, collecting the per-page min/max summary as we go (§3.3;
+  // the summary always stores raw vids, whatever the codec).
   uint64_t data_pages = 0;
+  uint64_t payload_bytes = 0;
   std::vector<ValueId> page_min, page_max;
   Page page(page_size);
   page.set_type(PageType::kDataVector);
@@ -63,27 +120,28 @@ Result<std::unique_ptr<PagedDataVector>> PagedDataVector::Build(
        first += values_per_page) {
     uint64_t n =
         std::min<uint64_t>(values_per_page, vids.size() - first);
-    std::memset(page.payload(), 0, page.capacity());
-    uint64_t* words = reinterpret_cast<uint64_t*>(page.payload());
     ValueId mn = kInvalidValueId, mx = 0;
     for (uint64_t i = 0; i < n; ++i) {
-      ValueId v = vids[first + i];
-      mn = std::min(mn, v);
-      mx = std::max(mx, v);
-      PackedSet(words, bits, i, v);
+      mn = std::min(mn, vids[first + i]);
+      mx = std::max(mx, vids[first + i]);
     }
     page_min.push_back(n == 0 ? 0 : mn);
     page_max.push_back(n == 0 ? 0 : mx);
-    uint64_t chunks = CeilDiv(n, kChunkValues);
-    page.set_payload_size(
-        static_cast<uint32_t>(chunks * ChunkBytes(bits) + sizeof(uint64_t)));
+    uint32_t aux2 = 0;
+    const uint32_t psize =
+        CodecEncodePage(choice, vids.data() + first, n, page.payload(),
+                        page.capacity(), &aux2);
+    page.set_payload_size(psize);
     page.header()->aux = static_cast<uint32_t>(n);  // values on this page
+    page.header()->aux2 = aux2;  // codec word (RLE run count / escape)
     auto r = file->AppendPage(&page);
     if (!r.ok()) return r.status();
     ++data_pages;
+    payload_bytes += psize;
     if (vids.empty()) break;
   }
   PAYG_RETURN_IF_ERROR(file->Sync());
+  RecordCodecBuild(choice.id, payload_bytes);
 
   // Persist the min/max summary in its own (small) chain.
   {
@@ -105,7 +163,7 @@ Result<std::unique_ptr<PagedDataVector>> PagedDataVector::Build(
   dv->rm_ = rm;
   dv->pool_ = pool;
   dv->row_count_ = vids.size();
-  dv->bits_ = bits;
+  dv->codec_ = choice;
   dv->values_per_page_ = values_per_page;
   dv->data_pages_ = data_pages;
   dv->file_ = std::move(file);
@@ -131,9 +189,39 @@ Result<std::unique_ptr<PagedDataVector>> PagedDataVector::Open(
   dv->rm_ = rm;
   dv->pool_ = pool;
   const uint8_t* p = meta.payload();
-  std::memcpy(&dv->bits_, p, sizeof(dv->bits_));
-  std::memcpy(&dv->row_count_, p + 8, sizeof(dv->row_count_));
-  std::memcpy(&dv->values_per_page_, p + 16, sizeof(dv->values_per_page_));
+  if (meta.payload_size() == kMetaV0PayloadSize) {
+    // Pre-codec chain: uniform n-bit packing, no version word.
+    std::memcpy(&dv->codec_.params.bits, p, sizeof(dv->codec_.params.bits));
+    std::memcpy(&dv->row_count_, p + 8, sizeof(dv->row_count_));
+    std::memcpy(&dv->values_per_page_, p + 16,
+                sizeof(dv->values_per_page_));
+    dv->codec_.id = CodecId::kPlain;
+  } else if (meta.payload_size() == kMetaV1PayloadSize) {
+    uint32_t version = 0;
+    std::memcpy(&version, p, sizeof(version));
+    if (version != kMetaVersion) {
+      return Status::Corruption(
+          "data vector meta: unsupported meta format version " +
+          std::to_string(version) + " (this build reads versions 0 and 1)");
+    }
+    std::memcpy(&dv->codec_.params.bits, p + 4,
+                sizeof(dv->codec_.params.bits));
+    std::memcpy(&dv->row_count_, p + 8, sizeof(dv->row_count_));
+    std::memcpy(&dv->values_per_page_, p + 16,
+                sizeof(dv->values_per_page_));
+    if (p[24] >= kCodecCount) {
+      return Status::Corruption("data vector meta: unknown codec id " +
+                                std::to_string(p[24]));
+    }
+    dv->codec_.id = static_cast<CodecId>(p[24]);
+    std::memcpy(&dv->codec_.params.for_base, p + 28,
+                sizeof(dv->codec_.params.for_base));
+  } else {
+    return Status::Corruption("data vector meta: unrecognized payload size " +
+                              std::to_string(meta.payload_size()));
+  }
+  PAYG_RETURN_IF_ERROR(
+      ValidateGeometry(dv->codec_.params.bits, dv->values_per_page_));
   dv->data_pages_ = file->page_count() - 1;
   dv->file_ = std::move(file);
   dv->cache_ = std::make_unique<PageCache>(dv->file_.get(), rm, pool,
@@ -211,6 +299,19 @@ void PagedDataVector::Unload() {
 
 PagedDataVector::~PagedDataVector() { Unload(); }
 
+PagedDataVectorIterator::~PagedDataVectorIterator() {
+  const uint64_t native = codec_stats_.native;
+  const uint64_t fallback = codec_stats_.fallback;
+  if (native + fallback != 0) {
+    auto& reg = obs::MetricsRegistry::Global();
+    static obs::Counter* m_native = reg.counter("codec.kernel_native");
+    static obs::Counter* m_fallback = reg.counter("codec.kernel_fallback");
+    m_native->Add(native);
+    m_fallback->Add(fallback);
+    CountCodecKernels(ctx_, native, fallback);
+  }
+}
+
 bool PagedDataVectorIterator::MayContain(RowPos rpos, ValueId lo,
                                          ValueId hi) {
   if (!use_summary_) return true;
@@ -248,6 +349,13 @@ Status PagedDataVectorIterator::Reposition(RowPos rpos, bool sequential) {
   current_lpn_ = lpn;
   page_first_row_ = static_cast<RowPos>((lpn - 1) * dv_->values_per_page_);
   page_rows_ = current_.page().header()->aux;
+  // Codec view of the pinned page: the per-codec accessor every decode and
+  // search below goes through (S22).
+  view_.words = reinterpret_cast<const uint64_t*>(current_.page().payload());
+  view_.n = page_rows_;
+  view_.aux2 = current_.page().header()->aux2;
+  view_.params = dv_->codec_.params;
+  view_.kernels = nullptr;  // process-wide active SIMD tier
   ++pages_touched_;
   return Status::OK();
 }
@@ -255,10 +363,7 @@ Status PagedDataVectorIterator::Reposition(RowPos rpos, bool sequential) {
 Result<ValueId> PagedDataVectorIterator::Get(RowPos rpos) {
   if (rpos >= dv_->row_count_) return Status::OutOfRange("row position");
   PAYG_RETURN_IF_ERROR(Reposition(rpos));
-  const uint64_t* words =
-      reinterpret_cast<const uint64_t*>(current_.page().payload());
-  return static_cast<ValueId>(
-      PackedGet(words, dv_->bits_, rpos - page_first_row_));
+  return CodecGetValue(dv_->codec_.id, view_, rpos - page_first_row_);
 }
 
 Status PagedDataVectorIterator::MGet(RowPos from, RowPos to,
@@ -271,10 +376,8 @@ Status PagedDataVectorIterator::MGet(RowPos from, RowPos to,
     RowPos stop = std::min(to, page_end);
     size_t old = out->size();
     out->resize(old + (stop - r));
-    const uint64_t* words =
-        reinterpret_cast<const uint64_t*>(current_.page().payload());
-    PackedMGet(words, dv_->bits_, r - page_first_row_, stop - page_first_row_,
-               out->data() + old);
+    CodecMGet(dv_->codec_.id, view_, r - page_first_row_,
+              stop - page_first_row_, out->data() + old, &codec_stats_);
     CountRowsScanned(ctx_, stop - r);
     r = stop;
   }
@@ -288,7 +391,8 @@ Status PagedDataVectorIterator::SearchRange(RowPos from, RowPos to, ValueId lo,
   RowPos r = from;
   while (r < to) {
     // Skip pages whose [min,max] cannot overlap the predicate without
-    // loading them (§3.3's summary pruning).
+    // loading them (§3.3's summary pruning; summaries store raw vids, so
+    // this early rejection works for every codec).
     if (!MayContain(r, lo, hi)) {
       RowPos page_end = static_cast<RowPos>(
           (r / dv_->values_per_page_ + 1) * dv_->values_per_page_);
@@ -299,10 +403,8 @@ Status PagedDataVectorIterator::SearchRange(RowPos from, RowPos to, ValueId lo,
     PAYG_RETURN_IF_ERROR(Reposition(r, /*sequential=*/true));
     RowPos page_end = page_first_row_ + static_cast<RowPos>(page_rows_);
     RowPos stop = std::min(to, page_end);
-    const uint64_t* words =
-        reinterpret_cast<const uint64_t*>(current_.page().payload());
-    PackedSearchRange(words, dv_->bits_, r - page_first_row_,
-                      stop - page_first_row_, lo, hi, r, out);
+    CodecSearchRange(dv_->codec_.id, view_, r - page_first_row_,
+                     stop - page_first_row_, lo, hi, r, out, &codec_stats_);
     CountRowsScanned(ctx_, stop - r);
     r = stop;
   }
@@ -311,7 +413,25 @@ Status PagedDataVectorIterator::SearchRange(RowPos from, RowPos to, ValueId lo,
 
 Status PagedDataVectorIterator::SearchEq(RowPos from, RowPos to, ValueId vid,
                                          std::vector<RowPos>* out) {
-  return SearchRange(from, to, vid, vid, out);
+  if (from > to || to > dv_->row_count_) return Status::OutOfRange("range");
+  RowPos r = from;
+  while (r < to) {
+    if (!MayContain(r, vid, vid)) {
+      RowPos page_end = static_cast<RowPos>(
+          (r / dv_->values_per_page_ + 1) * dv_->values_per_page_);
+      r = std::min(to, page_end);
+      ++pages_pruned_;
+      continue;
+    }
+    PAYG_RETURN_IF_ERROR(Reposition(r, /*sequential=*/true));
+    RowPos page_end = page_first_row_ + static_cast<RowPos>(page_rows_);
+    RowPos stop = std::min(to, page_end);
+    CodecSearchEq(dv_->codec_.id, view_, r - page_first_row_,
+                  stop - page_first_row_, vid, r, out, &codec_stats_);
+    CountRowsScanned(ctx_, stop - r);
+    r = stop;
+  }
+  return Status::OK();
 }
 
 Status PagedDataVectorIterator::SearchIn(
@@ -333,10 +453,9 @@ Status PagedDataVectorIterator::SearchIn(
     PAYG_RETURN_IF_ERROR(Reposition(r, /*sequential=*/true));
     RowPos page_end = page_first_row_ + static_cast<RowPos>(page_rows_);
     RowPos stop = std::min(to, page_end);
-    const uint64_t* words =
-        reinterpret_cast<const uint64_t*>(current_.page().payload());
-    PackedSearchIn(words, dv_->bits_, r - page_first_row_,
-                   stop - page_first_row_, sorted_vids, r, out);
+    CodecSearchIn(dv_->codec_.id, view_, r - page_first_row_,
+                  stop - page_first_row_, sorted_vids, r, out,
+                  &codec_stats_);
     CountRowsScanned(ctx_, stop - r);
     r = stop;
   }

@@ -10,26 +10,39 @@
 #include "buffer/resource_manager.h"
 #include "common/result.h"
 #include "encoding/bit_packing.h"
+#include "encoding/codec.h"
 #include "paged/page_cache.h"
 #include "paged/page_summary.h"
 #include "storage/storage_manager.h"
 
 namespace payg {
 
-// Paged data vector (§3.1): value identifiers uniformly n-bit packed, split
-// into chunks of exactly 64 identifiers, stored as a chain of disk pages,
-// each holding an integral number of chunks. Uniform encoding makes row
-// position → logical page number pure arithmetic, which is what lets the
+// Paged data vector (§3.1): value identifiers encoded page by page with a
+// per-column codec (S22 — plain n-bit packing, FOR residuals, or RLE runs),
+// stored as a chain of disk pages. Every codec keeps a fixed number of
+// values per page (a multiple of the 64-value chunk), so row position →
+// logical page number stays pure arithmetic, which is what lets the
 // iterator load exactly the pages a row range needs.
 //
-// Chain layout: page 0 is a meta page (bits, row count); pages 1..N hold
-// chunk data.
+// Chain layout: page 0 is a meta page (format version, codec id + params,
+// bits, row count); pages 1..N hold encoded data. Version-0 meta pages
+// (pre-codec, 24-byte payload) still open and decode as plain.
 class PagedDataVector {
  public:
-  // Builds and persists a new paged data vector under chain `<name>.dv`.
+  // Builds and persists a new paged data vector under chain `<name>.dv`,
+  // selecting the codec via ResolveCodec (PAYG_FORCE_CODEC, then the cost
+  // model).
   static Result<std::unique_ptr<PagedDataVector>> Build(
       StorageManager* storage, ResourceManager* rm, PoolId pool,
       const std::string& name, const std::vector<ValueId>& vids);
+
+  // Builds with an explicit codec choice (the delta-merge selection pass
+  // and tests pass one in; `choice` must come from MakeCodecChoice /
+  // ChooseCodec over the same `vids`).
+  static Result<std::unique_ptr<PagedDataVector>> Build(
+      StorageManager* storage, ResourceManager* rm, PoolId pool,
+      const std::string& name, const std::vector<ValueId>& vids,
+      const CodecChoice& choice);
 
   // Opens an existing chain; reads only the meta page.
   static Result<std::unique_ptr<PagedDataVector>> Open(
@@ -37,7 +50,12 @@ class PagedDataVector {
       const std::string& name);
 
   uint64_t row_count() const { return row_count_; }
-  uint32_t bits() const { return bits_; }
+  // Packed width of the page payload words (plain/RLE: BitsNeeded(max);
+  // FOR: BitsNeeded(max - base)).
+  uint32_t bits() const { return codec_.params.bits; }
+  // Codec this vector was built with (persisted in the meta page).
+  CodecId codec_id() const { return codec_.id; }
+  const CodecParams& codec_params() const { return codec_.params; }
   // Value identifiers stored per data page (a multiple of 64).
   uint64_t values_per_page() const { return values_per_page_; }
   uint64_t data_page_count() const { return data_pages_; }
@@ -69,7 +87,7 @@ class PagedDataVector {
   ResourceManager* rm_ = nullptr;
   PoolId pool_ = PoolId::kPagedPool;
   uint64_t row_count_ = 0;
-  uint32_t bits_ = 1;
+  CodecChoice codec_;
   uint64_t values_per_page_ = 0;
   uint64_t data_pages_ = 0;
   std::unique_ptr<PageFile> file_;
@@ -97,6 +115,10 @@ class PagedDataVectorIterator {
   explicit PagedDataVectorIterator(PagedDataVector* dv,
                                    ExecContext* ctx = nullptr)
       : dv_(dv), ctx_(ctx) {}
+
+  // Folds the native/fallback codec-kernel tallies into the process-wide
+  // codec.* counters and the query's ExecContext.
+  ~PagedDataVectorIterator();
 
   // Decodes the value identifier at `rpos`.
   Result<ValueId> Get(RowPos rpos);
@@ -132,6 +154,11 @@ class PagedDataVectorIterator {
   uint64_t pages_touched() const { return pages_touched_; }
   // Pages the min/max summary let the search methods skip without loading.
   uint64_t pages_pruned() const { return pages_pruned_; }
+  // Per-page kernel dispatches that ran natively on the compressed image
+  // vs. through the decode-into-scratch fallback (tests verify the native
+  // matrix through these).
+  uint64_t codec_native() const { return codec_stats_.native; }
+  uint64_t codec_fallback() const { return codec_stats_.fallback; }
 
   // Whether search methods consult the per-page min/max summary to skip
   // pages whose [min,max] cannot overlap the predicate (§3.3). On by
@@ -162,6 +189,8 @@ class PagedDataVectorIterator {
   LogicalPageNo current_lpn_ = kInvalidPageNo;
   RowPos page_first_row_ = 0;   // first row stored on the pinned page
   uint64_t page_rows_ = 0;      // rows stored on the pinned page
+  CodecPageView view_;          // codec view of the pinned page
+  CodecStats codec_stats_;      // native/fallback tallies + decode scratch
   uint64_t pages_touched_ = 0;
   uint64_t pages_pruned_ = 0;
   uint32_t readahead_ = DefaultReadaheadWindow();

@@ -115,7 +115,7 @@ Result<std::unique_ptr<PagedFragment>> PagedFragment::Build(
     const std::string& name, ValueType type,
     const std::vector<Value>& sorted_dict_values,
     const std::vector<ValueId>& vids, IndexMode index_mode,
-    uint32_t index_build_threshold) {
+    uint32_t index_build_threshold, CodecForce codec) {
   auto frag = std::unique_ptr<PagedFragment>(new PagedFragment());
   frag->name_ = name;
   frag->storage_ = storage;
@@ -151,8 +151,11 @@ Result<std::unique_ptr<PagedFragment>> PagedFragment::Build(
     PAYG_RETURN_IF_ERROR(mfile->Sync());
   }
 
-  PAYG_ASSIGN_OR_RETURN(frag->data_,
-                        PagedDataVector::Build(storage, rm, pool, name, vids));
+  // The delta-merge codec selection pass (S22): fragment-level force, then
+  // PAYG_FORCE_CODEC, then the per-column cost model over these vids.
+  PAYG_ASSIGN_OR_RETURN(
+      frag->data_, PagedDataVector::Build(storage, rm, pool, name, vids,
+                                          ResolveCodec(codec, vids)));
 
   if (type == ValueType::kString) {
     std::vector<std::string> strings;

@@ -45,12 +45,15 @@ class PagedFragment : public MainFragment {
                  /*index_build_threshold=*/1);
   }
 
+  // `codec` pins the data vector's storage codec; kAuto defers to
+  // PAYG_FORCE_CODEC and then the cost model (S22 selection pass).
   static Result<std::unique_ptr<PagedFragment>> Build(
       StorageManager* storage, ResourceManager* rm, PoolId pool,
       const std::string& name, ValueType type,
       const std::vector<Value>& sorted_dict_values,
       const std::vector<ValueId>& vids, IndexMode index_mode,
-      uint32_t index_build_threshold);
+      uint32_t index_build_threshold,
+      CodecForce codec = CodecForce::kAuto);
 
   static Result<std::unique_ptr<PagedFragment>> Open(StorageManager* storage,
                                                      ResourceManager* rm,
@@ -67,6 +70,9 @@ class PagedFragment : public MainFragment {
     return index_ != nullptr;
   }
   bool is_paged() const override { return true; }
+  const char* codec_name() const override {
+    return CodecName(data_->codec_id());
+  }
 
   IndexMode index_mode() const { return index_mode_; }
   // FindRows calls served so far (drives the deferred rebuild decision).

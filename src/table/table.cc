@@ -776,6 +776,7 @@ std::vector<Table::ColumnStats> Table::CollectColumnStats() const {
         stats.main_rows = main->row_count();
         stats.dict_size = main->dict_size();
         stats.resident_bytes = main->ResidentBytes();
+        stats.codec = main->codec_name();
       }
       out.push_back(std::move(stats));
     }

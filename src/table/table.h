@@ -226,6 +226,10 @@ class Table {
     uint64_t delta_rows = 0;
     uint64_t dict_size = 0;
     uint64_t resident_bytes = 0;  // main fragment only
+    // Storage codec of the main fragment's data vector (S22): "plain",
+    // "for", "rle" for paged columns, "resident" for fully loaded ones,
+    // empty before the first delta merge.
+    std::string codec;
   };
 
   // One row per (partition, column): loading behaviour, sizes, and the

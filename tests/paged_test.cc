@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <filesystem>
+#include <functional>
 
 #include "buffer/resource_manager.h"
 #include "common/random.h"
@@ -252,6 +254,148 @@ TEST_F(PagedTest, DataVectorReopen) {
     ASSERT_TRUE(vid.ok());
     EXPECT_EQ(*vid, vids[r]);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Meta-page compatibility (S22). Version-0 chains (pre-codec, 24-byte meta
+// payload) must keep opening and scanning as plain; malformed meta pages
+// must be rejected with a clear Status instead of decoding garbage.
+// ---------------------------------------------------------------------------
+
+// Hand-writes a `<name>.dv` chain whose meta page is produced by `fill`
+// (which must also set the payload size). No data pages unless appended by
+// the caller afterwards — Open() reads only the meta page.
+void WriteRawMetaChain(StorageManager* storage, const std::string& name,
+                       const std::function<void(Page*)>& fill) {
+  const uint32_t page_size = storage->options().page_size;
+  auto file = storage->CreateChain(name + ".dv", page_size);
+  ASSERT_TRUE(file.ok());
+  Page meta(page_size);
+  meta.set_type(PageType::kMeta);
+  fill(&meta);
+  ASSERT_TRUE((*file)->AppendPage(&meta).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+}
+
+TEST_F(PagedTest, DataVectorVersionZeroChainOpensAsPlain) {
+  // Replicate the exact pre-codec on-disk layout: a 24-byte meta payload
+  // (bits @0, row_count @8, values_per_page @16 — no version word, no codec
+  // byte) followed by uniformly n-bit-packed data pages.
+  auto vids = RandomVids(20000, 500, 77);
+  CodecChoice plain = MakeCodecChoice(CodecId::kPlain, vids);
+  const uint32_t page_size = storage_->options().page_size;
+  const uint64_t vpp = CodecValuesPerPage(Page(page_size).capacity(), plain);
+  {
+    auto file = storage_->CreateChain("dv_v0.dv", page_size);
+    ASSERT_TRUE(file.ok());
+    Page meta(page_size);
+    meta.set_type(PageType::kMeta);
+    uint8_t* p = meta.payload();
+    const uint64_t row_count = vids.size();
+    std::memcpy(p, &plain.params.bits, sizeof(plain.params.bits));
+    std::memcpy(p + 8, &row_count, sizeof(row_count));
+    std::memcpy(p + 16, &vpp, sizeof(vpp));
+    meta.set_payload_size(24);
+    ASSERT_TRUE((*file)->AppendPage(&meta).ok());
+    Page page(page_size);
+    page.set_type(PageType::kDataVector);
+    for (uint64_t first = 0; first < vids.size(); first += vpp) {
+      const uint64_t n = std::min<uint64_t>(vpp, vids.size() - first);
+      uint32_t aux2 = 0;
+      page.set_payload_size(CodecEncodePage(plain, vids.data() + first, n,
+                                            page.payload(), page.capacity(),
+                                            &aux2));
+      page.header()->aux = static_cast<uint32_t>(n);
+      page.header()->aux2 = aux2;
+      ASSERT_TRUE((*file)->AppendPage(&page).ok());
+    }
+    ASSERT_TRUE((*file)->Sync().ok());
+  }
+
+  auto dv = PagedDataVector::Open(storage_.get(), rm_.get(),
+                                  PoolId::kPagedPool, "dv_v0");
+  ASSERT_TRUE(dv.ok()) << dv.status().ToString();
+  EXPECT_EQ((*dv)->codec_id(), CodecId::kPlain);
+  EXPECT_EQ((*dv)->row_count(), vids.size());
+  EXPECT_EQ((*dv)->values_per_page(), vpp);
+
+  PagedDataVectorIterator it(dv->get());
+  std::vector<ValueId> got;
+  ASSERT_TRUE(it.MGet(0, static_cast<RowPos>(vids.size()), &got).ok());
+  EXPECT_EQ(got, vids);
+  std::vector<RowPos> rows, expect;
+  ASSERT_TRUE(it.SearchEq(0, static_cast<RowPos>(vids.size()), 42, &rows)
+                  .ok());
+  for (uint64_t r = 0; r < vids.size(); ++r) {
+    if (vids[r] == 42) expect.push_back(static_cast<RowPos>(r));
+  }
+  EXPECT_EQ(rows, expect);
+}
+
+TEST_F(PagedTest, DataVectorUnknownMetaVersionRejected) {
+  WriteRawMetaChain(storage_.get(), "dv_badver", [](Page* meta) {
+    uint8_t* p = meta->payload();
+    const uint32_t version = 7;  // a future format this build cannot read
+    std::memcpy(p, &version, sizeof(version));
+    meta->set_payload_size(36);
+  });
+  auto dv = PagedDataVector::Open(storage_.get(), rm_.get(),
+                                  PoolId::kPagedPool, "dv_badver");
+  ASSERT_FALSE(dv.ok());
+  EXPECT_NE(dv.status().ToString().find("unsupported meta format version 7"),
+            std::string::npos)
+      << dv.status().ToString();
+}
+
+TEST_F(PagedTest, DataVectorUnknownCodecIdRejected) {
+  WriteRawMetaChain(storage_.get(), "dv_badcodec", [](Page* meta) {
+    uint8_t* p = meta->payload();
+    const uint32_t version = 1;
+    const uint32_t bits = 8;
+    const uint64_t rows = 64, vpp = 64;
+    std::memcpy(p, &version, sizeof(version));
+    std::memcpy(p + 4, &bits, sizeof(bits));
+    std::memcpy(p + 8, &rows, sizeof(rows));
+    std::memcpy(p + 16, &vpp, sizeof(vpp));
+    p[24] = 9;  // no such codec
+    meta->set_payload_size(36);
+  });
+  auto dv = PagedDataVector::Open(storage_.get(), rm_.get(),
+                                  PoolId::kPagedPool, "dv_badcodec");
+  ASSERT_FALSE(dv.ok());
+  EXPECT_NE(dv.status().ToString().find("unknown codec id 9"),
+            std::string::npos)
+      << dv.status().ToString();
+}
+
+TEST_F(PagedTest, DataVectorBadBitsRejected) {
+  WriteRawMetaChain(storage_.get(), "dv_badbits", [](Page* meta) {
+    uint8_t* p = meta->payload();
+    const uint32_t bits = 77;  // packed width cannot exceed 32
+    const uint64_t rows = 64, vpp = 64;
+    std::memcpy(p, &bits, sizeof(bits));
+    std::memcpy(p + 8, &rows, sizeof(rows));
+    std::memcpy(p + 16, &vpp, sizeof(vpp));
+    meta->set_payload_size(24);
+  });
+  auto dv = PagedDataVector::Open(storage_.get(), rm_.get(),
+                                  PoolId::kPagedPool, "dv_badbits");
+  ASSERT_FALSE(dv.ok());
+  EXPECT_NE(dv.status().ToString().find("bits out of range"),
+            std::string::npos)
+      << dv.status().ToString();
+}
+
+TEST_F(PagedTest, DataVectorUnrecognizedMetaSizeRejected) {
+  WriteRawMetaChain(storage_.get(), "dv_badsize", [](Page* meta) {
+    meta->set_payload_size(28);  // neither the v0 nor the v1 layout
+  });
+  auto dv = PagedDataVector::Open(storage_.get(), rm_.get(),
+                                  PoolId::kPagedPool, "dv_badsize");
+  ASSERT_FALSE(dv.ok());
+  EXPECT_NE(dv.status().ToString().find("unrecognized payload size 28"),
+            std::string::npos)
+      << dv.status().ToString();
 }
 
 // ---------------------------------------------------------------------------
