@@ -6,8 +6,19 @@
 // construct the result set, a single read of every column's paged dictionary
 // and paged data vector. The runtime ratio approaches 1 once the hot pages
 // are resident.
+//
+// After the figure, a profiler phase reruns the paged-variant query stream
+// warm, once without an ExecContext (profiler off) and once with a
+// per-query ExecContext (profiler on), printing both per-query costs and
+// the overhead — then the p99 slow-query profile from the ring. Set
+// PAYG_PROFILE_JSON=<path> to also write that profile as JSON (used by
+// scripts/bench_snapshot.sh).
+
+#include <fstream>
 
 #include "bench/bench_common.h"
+#include "exec/exec_context.h"
+#include "obs/slow_query_ring.h"
 
 int main() {
   using namespace payg;
@@ -25,5 +36,65 @@ int main() {
               BENCH_CHECK_OK(r);
               if (r->rows.size() != 1) std::abort();
             });
+
+  // --- Profiler overhead + p99 slow-query profile ------------------------
+  {
+    VariantInstance inst = BuildVariant(env, "fig9_profile",
+                                        TableVariant::kPagedAll,
+                                        /*with_indexes=*/true);
+    ErpConfig config = MakeConfig(env, TableVariant::kPagedAll, true);
+    const uint64_t q_count = std::min<uint64_t>(env.queries, 500);
+
+    // Same deterministic stream each pass; `profiled` decides whether each
+    // query carries a fresh ExecContext (id mint + counter deltas + profile
+    // capture + ring admission) or a null context (the profiler-off path).
+    auto run_pass = [&](bool profiled) -> double {
+      ErpWorkload w(config, /*seed=*/901);
+      Stopwatch timer;
+      for (uint64_t q = 0; q < q_count; ++q) {
+        const Value pk = w.PkOfRow(w.RandomRow());
+        if (profiled) {
+          ExecContext ctx;
+          auto r = inst.table->SelectByValue("pk", pk, {}, &ctx);
+          BENCH_CHECK_OK(r);
+        } else {
+          auto r = inst.table->SelectByValue("pk", pk, {});
+          BENCH_CHECK_OK(r);
+        }
+      }
+      return timer.ElapsedMicros();
+    };
+
+    // Warm the pages first: against cold reads the simulated device latency
+    // would swamp any bookkeeping cost, and the question this phase answers
+    // is what the profiler adds to an already-fast query.
+    run_pass(false);
+    const double off_us = run_pass(false);
+    obs::SlowQueryRing::Global().Reset();
+    const double on_us = run_pass(true);
+
+    const double off_per_q = off_us / static_cast<double>(q_count);
+    const double on_per_q = on_us / static_cast<double>(q_count);
+    std::printf("fig9: profiler_overhead queries=%llu "
+                "off_us_per_query=%.2f on_us_per_query=%.2f "
+                "overhead_pct=%.2f\n",
+                static_cast<unsigned long long>(q_count), off_per_q, on_per_q,
+                off_per_q <= 0 ? 0.0
+                               : (on_per_q - off_per_q) / off_per_q * 100.0);
+
+    // Worst profiles (slowest first) were admitted during the profiled
+    // pass; index q_count/100 is the stream's p99 query.
+    auto worst = obs::SlowQueryRing::Global().Snapshot();
+    if (!worst.empty()) {
+      const size_t p99 = std::min(worst.size() - 1,
+                                  static_cast<size_t>(q_count / 100));
+      std::printf("fig9: p99_slow_query %s\n", worst[p99].ToText().c_str());
+      if (const char* path = std::getenv("PAYG_PROFILE_JSON")) {
+        std::ofstream out(path);
+        out << worst[p99].ToJson() << "\n";
+      }
+    }
+  }
+  std::filesystem::remove_all(env.dir);
   return 0;
 }

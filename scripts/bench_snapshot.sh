@@ -9,12 +9,15 @@
 #                     count is pinned to 8 so the recorded configuration is
 #                     identical across hosts; the JSON's "cores" field says
 #                     how much physical parallelism backed the numbers.
+#   BENCH_profile.json — sample p99 QueryProfile from a small fig9 query
+#                     stream: the committed reference for the profiler's
+#                     JSON shape and a sanity check on its stage numbers.
 # Usage: scripts/bench_snapshot.sh [build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD="${1:-build}"
-cmake --build "$BUILD" -j --target bench_fig1_primitives bench_fig4_data_vector bench_exec_scaling
+cmake --build "$BUILD" -j --target bench_fig1_primitives bench_fig4_data_vector bench_exec_scaling bench_fig9_end_to_end
 
 # fig1: the acceptance-relevant kernels (mget + search_eq) on every available
 # tier at every bit width, plus the codec-dispatched variants (S22) per
@@ -33,4 +36,10 @@ PAYG_CACHE_SHARDS="${PAYG_CACHE_SHARDS:-8}" \
   PAYG_BENCH_JSON=BENCH_exec_scaling.json \
   "$BUILD"/bench/bench_exec_scaling
 
-echo "bench_snapshot.sh: wrote BENCH_fig1.json BENCH_fig4.json BENCH_exec_scaling.json"
+# Sample query profile: a reduced fig9 run whose profiler phase writes the
+# p99 query's profile (stage breakdown, cold/hit split, per-partition times).
+PAYG_ROWS="${PAYG_PROFILE_ROWS:-50000}" PAYG_QUERIES="${PAYG_PROFILE_QUERIES:-300}" \
+  PAYG_SESSION_US=0 PAYG_PROFILE_JSON=BENCH_profile.json \
+  "$BUILD"/bench/bench_fig9_end_to_end > /dev/null
+
+echo "bench_snapshot.sh: wrote BENCH_fig1.json BENCH_fig4.json BENCH_exec_scaling.json BENCH_profile.json"

@@ -3,9 +3,10 @@
 # regular build + complete test suite, then a
 # ThreadSanitizer build running the concurrency-sensitive suites (the
 # resource manager's lock-free pin path and striped touch buffers, the
-# partition-parallel executor, the lock-free metrics/trace ring, the page
-# cache's asynchronous prefetch pool, and the sharded-cache stress suite),
-# then an ASan+UBSan build of the buffer and cache stress suites.
+# partition-parallel executor, the lock-free metrics/trace ring, the
+# query-profile capture and slow-query ring, the page cache's asynchronous
+# prefetch pool, and the sharded-cache stress suite), then an ASan+UBSan
+# build of the buffer, cache stress, codec and profile suites.
 # Usage: scripts/check.sh [build-dir-prefix]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,20 +22,22 @@ cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 
-echo "== TSan build: buffer + exec + obs + paged + cache-stress suites =="
+echo "== TSan build: buffer + exec + obs + profile + paged + cache-stress suites =="
 cmake -B "$BUILD-tsan" -S . -DPAYG_SANITIZE=thread >/dev/null
-cmake --build "$BUILD-tsan" -j --target buffer_test exec_test obs_test paged_test cache_stress_test
+cmake --build "$BUILD-tsan" -j --target buffer_test exec_test obs_test profile_test paged_test cache_stress_test
 "$BUILD-tsan"/tests/buffer_test
 "$BUILD-tsan"/tests/exec_test
 "$BUILD-tsan"/tests/obs_test
+"$BUILD-tsan"/tests/profile_test
 "$BUILD-tsan"/tests/paged_test
 "$BUILD-tsan"/tests/cache_stress_test
 
-echo "== ASan+UBSan build: buffer + cache-stress + codec suites =="
+echo "== ASan+UBSan build: buffer + cache-stress + codec + profile suites =="
 cmake -B "$BUILD-asan" -S . -DPAYG_SANITIZE=address+undefined >/dev/null
-cmake --build "$BUILD-asan" -j --target buffer_test cache_stress_test codec_test
+cmake --build "$BUILD-asan" -j --target buffer_test cache_stress_test codec_test profile_test
 "$BUILD-asan"/tests/buffer_test
 "$BUILD-asan"/tests/cache_stress_test
 "$BUILD-asan"/tests/codec_test
+"$BUILD-asan"/tests/profile_test
 
 echo "check.sh: all green"

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 
+#include "obs/stats_dumper.h"
 #include "storage/byte_stream.h"
 
 namespace payg {
@@ -53,6 +54,10 @@ Result<TableSchema> ReadSchema(ChainByteReader* r) {
 
 Result<std::unique_ptr<ColumnStore>> ColumnStore::Open(
     const ColumnStoreOptions& options) {
+  // Arm the background metrics/slow-query exporter when the env asks for it
+  // (PAYG_STATS_DUMP_SECS > 0; off by default). Idempotent across multiple
+  // stores in one process.
+  obs::StatsDumper::Global().StartFromEnv();
   PAYG_ASSIGN_OR_RETURN(auto storage,
                         StorageManager::Open(options.directory,
                                              options.storage));

@@ -101,6 +101,28 @@ void ForSearchRange(const CodecPageView& v, uint64_t from, uint64_t to,
   Tier(v).search_range[v.params.bits](v.words, from, to, rlo, rhi, base, out);
 }
 
+void ForSearchIn(const CodecPageView& v, uint64_t from, uint64_t to,
+                 const std::vector<ValueId>& sorted_vids, RowPos base,
+                 std::vector<RowPos>* out) {
+  // Translate the probe set into residual space: drop probes below the
+  // frame base, stop at the first probe whose residual exceeds the packed
+  // width (the input is sorted, so everything after it is out of frame
+  // too). What survives is still sorted and unique, so the plain-tier
+  // search_in kernel runs unchanged on the residual image.
+  const uint64_t mask = LowMask(v.params.bits);
+  const ValueId fbase = v.params.for_base;
+  std::vector<ValueId> residuals;
+  residuals.reserve(sorted_vids.size());
+  for (ValueId vid : sorted_vids) {
+    if (vid < fbase) continue;
+    const uint64_t r = vid - fbase;
+    if (r > mask) break;
+    residuals.push_back(static_cast<ValueId>(r));
+  }
+  if (residuals.empty()) return;
+  Tier(v).search_in[v.params.bits](v.words, from, to, residuals, base, out);
+}
+
 // --- RLE -------------------------------------------------------------------
 // Page image: u32 run_ends[R] (cumulative page-local positions,
 // run_ends[R-1] == n), padded to 8 bytes, then the R run values packed at
@@ -192,10 +214,27 @@ void RleSearchRange(const CodecPageView& v, uint64_t from, uint64_t to,
               [lo, hi](uint64_t x) { return x >= lo && x <= hi; });
 }
 
+void RleSearchIn(const CodecPageView& v, uint64_t from, uint64_t to,
+                 const std::vector<ValueId>& sorted_vids, RowPos base,
+                 std::vector<RowPos>* out) {
+  if (v.aux2 == kRleEscapeAux) {
+    PlainSearchIn(v, from, to, sorted_vids, base, out);
+    return;
+  }
+  if (from >= to) return;
+  // Run-catalog skipping: one binary search of the probe set per run, not
+  // per row — O(runs × log probes) regardless of run length.
+  RleScanRuns(v, from, to, base, out, [&sorted_vids](uint64_t x) {
+    return std::binary_search(sorted_vids.begin(), sorted_vids.end(),
+                              static_cast<ValueId>(x));
+  });
+}
+
 // --- fallback --------------------------------------------------------------
 // Decode the range into scratch with the codec's native mget and run the
-// predicate scalar. The production path for (codec, kernel) pairs without a
-// native row in the table (today: FOR/RLE search_in).
+// predicate scalar. Kept as the production path for any future codec row
+// that lands without a full kernel set; every (codec, kernel) pair of the
+// current cascade is native.
 
 template <typename Pred>
 void FallbackFilter(CodecId id, const CodecPageView& v, uint64_t from,
@@ -370,12 +409,13 @@ uint32_t CodecEncodePage(const CodecChoice& choice, const ValueId* vids,
 
 const CodecKernels& CodecKernelTable(CodecId id) {
   // The codec dimension of the (codec × kernel × tier) dispatch: each row's
-  // functions resolve the tier through CodecPageView::kernels. Null entries
-  // (FOR/RLE search_in) take the decode-into-scratch fallback.
+  // functions resolve the tier through CodecPageView::kernels. A null entry
+  // would take the decode-into-scratch fallback; every current row is
+  // fully native.
   static const CodecKernels tables[kCodecCount] = {
       {PlainGet, PlainMGet, PlainSearchEq, PlainSearchRange, PlainSearchIn},
-      {ForGet, ForMGet, ForSearchEq, ForSearchRange, nullptr},
-      {RleGet, RleMGet, RleSearchEq, RleSearchRange, nullptr},
+      {ForGet, ForMGet, ForSearchEq, ForSearchRange, ForSearchIn},
+      {RleGet, RleMGet, RleSearchEq, RleSearchRange, RleSearchIn},
   };
   return tables[static_cast<size_t>(id)];
 }

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/query_profile.h"
 
 namespace payg {
 
@@ -26,6 +27,15 @@ struct QueryStats {
   std::atomic<uint64_t> prefetch_hits{0};    // pins served by a prefetched page
   std::atomic<uint64_t> codec_native{0};     // kernels run on compressed form
   std::atomic<uint64_t> codec_fallback{0};   // kernels via decode-into-scratch
+  // Page-wait decomposition, counted by PageCache::GetPage: a cold access
+  // paid a physical load (page_cold_count tracks pages_read one-for-one, at
+  // a different code site — profile_test cross-checks them), a hit pinned a
+  // resident page. Time is the full GetPage call, so cold time includes the
+  // simulated device latency plus any in-flight-prefetch wait.
+  std::atomic<uint64_t> page_cold_count{0};
+  std::atomic<uint64_t> page_cold_us{0};
+  std::atomic<uint64_t> page_hit_count{0};
+  std::atomic<uint64_t> page_hit_us{0};
 
   // Plain-integer copy for reporting (benchmarks, logs, tests).
   struct Snapshot {
@@ -40,6 +50,10 @@ struct QueryStats {
     uint64_t prefetch_hits = 0;
     uint64_t codec_native = 0;
     uint64_t codec_fallback = 0;
+    uint64_t page_cold_count = 0;
+    uint64_t page_cold_us = 0;
+    uint64_t page_hit_count = 0;
+    uint64_t page_hit_us = 0;
   };
 
   Snapshot snapshot() const {
@@ -55,6 +69,10 @@ struct QueryStats {
     s.prefetch_hits = prefetch_hits.load(std::memory_order_relaxed);
     s.codec_native = codec_native.load(std::memory_order_relaxed);
     s.codec_fallback = codec_fallback.load(std::memory_order_relaxed);
+    s.page_cold_count = page_cold_count.load(std::memory_order_relaxed);
+    s.page_cold_us = page_cold_us.load(std::memory_order_relaxed);
+    s.page_hit_count = page_hit_count.load(std::memory_order_relaxed);
+    s.page_hit_us = page_hit_us.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -78,6 +96,11 @@ struct QueryStats {
     static obs::Counter* codec_native = reg.counter("query.codec_native");
     static obs::Counter* codec_fallback =
         reg.counter("query.codec_fallback");
+    static obs::Counter* page_cold_count =
+        reg.counter("query.page_cold_count");
+    static obs::Counter* page_cold_us = reg.counter("query.page_cold_us");
+    static obs::Counter* page_hit_count = reg.counter("query.page_hit_count");
+    static obs::Counter* page_hit_us = reg.counter("query.page_hit_us");
     pages_pinned->Add(s.pages_pinned);
     pages_read->Add(s.pages_read);
     bytes_read->Add(s.bytes_read);
@@ -89,8 +112,19 @@ struct QueryStats {
     prefetch_hits->Add(s.prefetch_hits);
     codec_native->Add(s.codec_native);
     codec_fallback->Add(s.codec_fallback);
+    page_cold_count->Add(s.page_cold_count);
+    page_cold_us->Add(s.page_cold_us);
+    page_hit_count->Add(s.page_hit_count);
+    page_hit_us->Add(s.page_hit_us);
   }
 };
+
+// Process-unique query id, minted at ExecContext construction. Id 0 is
+// reserved for "no query" (trace events recorded outside any query scope).
+inline uint64_t NextQueryId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 // Carried through one query end to end: Table → Partition → FragmentReader →
 // paged structures → PageFile. Gives every layer a place to report work
@@ -112,6 +146,18 @@ struct ExecContext {
   ~ExecContext() { QueryStats::FoldIntoRegistry(stats.snapshot()); }
 
   QueryStats stats;
+
+  // Process-unique id stamped on this context's trace spans and profile.
+  // A context reused across a query stream (benchmarks) keeps one id: the
+  // id names the context's lifetime, the profile always describes the most
+  // recent ForEach.
+  const uint64_t query_id = NextQueryId();
+
+  // Stage breakdown of the most recent executor fan-out on this context,
+  // rewritten by QueryExecutor::ForEach at completion. Read it after the
+  // query call returns; the executor joins its workers first, so no task
+  // is still writing.
+  obs::QueryProfile profile;
 
   // Absolute deadline; Clock::time_point::max() (the default) means none.
   Clock::time_point deadline = Clock::time_point::max();
@@ -179,6 +225,17 @@ inline void CountCodecKernels(ExecContext* ctx, uint64_t native,
   if (ctx != nullptr) {
     ctx->stats.codec_native.fetch_add(native, std::memory_order_relaxed);
     ctx->stats.codec_fallback.fetch_add(fallback, std::memory_order_relaxed);
+  }
+}
+inline void CountPageAccess(ExecContext* ctx, bool cold, uint64_t micros) {
+  if (ctx != nullptr) {
+    if (cold) {
+      ctx->stats.page_cold_count.fetch_add(1, std::memory_order_relaxed);
+      ctx->stats.page_cold_us.fetch_add(micros, std::memory_order_relaxed);
+    } else {
+      ctx->stats.page_hit_count.fetch_add(1, std::memory_order_relaxed);
+      ctx->stats.page_hit_us.fetch_add(micros, std::memory_order_relaxed);
+    }
   }
 }
 

@@ -5,8 +5,10 @@
 namespace payg {
 
 ThreadPool* SharedIoPool() {
-  static ThreadPool* pool = new ThreadPool(static_cast<uint32_t>(
-      EnvLong("PAYG_PREFETCH_THREADS", 1, 16, /*fallback=*/2)));
+  static ThreadPool* pool = new ThreadPool(
+      static_cast<uint32_t>(
+          EnvLong("PAYG_PREFETCH_THREADS", 1, 16, /*fallback=*/2)),
+      "io-pool");
   return pool;
 }
 

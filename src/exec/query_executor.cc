@@ -7,13 +7,15 @@
 #include "common/macros.h"
 #include "common/thread_annotations.h"
 #include "common/stopwatch.h"
+#include "obs/slow_query_ring.h"
 #include "obs/trace.h"
 
 namespace payg {
 
 QueryExecutor::QueryExecutor(const ExecOptions& options) : options_(options) {
   if (options_.worker_threads > 0) {
-    pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+    pool_ = std::make_unique<ThreadPool>(options_.worker_threads,
+                                         "exec-worker");
   }
   auto& reg = obs::MetricsRegistry::Global();
   m_queries_ = reg.counter("exec.queries");
@@ -26,23 +28,69 @@ QueryExecutor::~QueryExecutor() = default;
 
 Status QueryExecutor::ForEach(ExecContext* ctx, size_t n,
                               const std::function<Status(size_t)>& task) {
-  obs::TraceSpan query_span("exec", "query", n);
+  const uint64_t qid = ctx != nullptr ? ctx->query_id : 0;
+  // Install the query id on this thread before the query span opens, so the
+  // span itself — and everything beneath it on the serial path — carries it.
+  obs::TraceTaskScope query_scope(qid);
+  obs::TraceSpan query_span("exec", "query", qid);
   Stopwatch timer;
   m_queries_->Inc();
 
+  // Profile capture: stage counters accumulate locally, page/row/codec
+  // numbers come from the ExecContext counter deltas (benchmarks reuse one
+  // context across a whole query stream, so absolute values would smear
+  // queries together).
+  obs::QueryProfile* prof = ctx != nullptr ? &ctx->profile : nullptr;
+  QueryStats::Snapshot s0;
+  if (ctx != nullptr) s0 = ctx->stats.snapshot();
+  if (prof != nullptr) {
+    *prof = obs::QueryProfile();
+    prof->query_id = qid;
+    prof->partitions = n;
+    prof->partition_us.assign(n, 0);
+  }
+  std::atomic<uint64_t> queue_wait_us{0};
+  std::atomic<uint64_t> scan_us{0};
+
   auto run = [&](size_t i) -> Status {
     obs::TraceSpan span("exec", "partition", i);
-    if (ctx != nullptr) {
-      PAYG_RETURN_IF_ERROR(ctx->CheckDeadline());
-    }
-    return task(i);
+    Stopwatch part;
+    Status s;
+    if (ctx != nullptr) s = ctx->CheckDeadline();
+    if (s.ok()) s = task(i);
+    const auto us = static_cast<uint64_t>(part.ElapsedMicros());
+    // Determinism contract: task i writes only slot i.
+    if (prof != nullptr) prof->partition_us[i] = us;
+    scan_us.fetch_add(us, std::memory_order_relaxed);
+    return s;
   };
 
-  // One exit point so latency and the deadline-exceeded count cover serial
-  // and parallel mode alike.
+  // One exit point so latency, the deadline-exceeded count and the profile
+  // cover serial and parallel mode alike.
   auto finish = [&](Status s) -> Status {
-    m_query_latency_us_->Record(static_cast<uint64_t>(timer.ElapsedMicros()));
+    const auto wall = static_cast<uint64_t>(timer.ElapsedMicros());
+    m_query_latency_us_->Record(wall);
     if (s.IsDeadlineExceeded()) m_deadline_exceeded_->Inc();
+    if (prof != nullptr) {
+      const QueryStats::Snapshot s1 = ctx->stats.snapshot();
+      prof->wall_us = wall;
+      prof->queue_wait_us = queue_wait_us.load(std::memory_order_relaxed);
+      prof->scan_us = scan_us.load(std::memory_order_relaxed);
+      prof->page_cold_count = s1.page_cold_count - s0.page_cold_count;
+      prof->page_cold_us = s1.page_cold_us - s0.page_cold_us;
+      prof->page_hit_count = s1.page_hit_count - s0.page_hit_count;
+      prof->page_hit_us = s1.page_hit_us - s0.page_hit_us;
+      prof->bytes_read = s1.bytes_read - s0.bytes_read;
+      prof->rows_scanned = s1.rows_scanned - s0.rows_scanned;
+      prof->index_lookups = s1.index_lookups - s0.index_lookups;
+      prof->vector_scans = s1.vector_scans - s0.vector_scans;
+      prof->codec_native = s1.codec_native - s0.codec_native;
+      prof->codec_fallback = s1.codec_fallback - s0.codec_fallback;
+      prof->prefetch_issued = s1.prefetch_issued - s0.prefetch_issued;
+      prof->prefetch_hits = s1.prefetch_hits - s0.prefetch_hits;
+      prof->deadline_exceeded = s.IsDeadlineExceeded();
+      obs::SlowQueryRing::Global().Observe(*prof);
+    }
     return s;
   };
 
@@ -56,6 +104,7 @@ Status QueryExecutor::ForEach(ExecContext* ctx, size_t n,
     return finish(Status::OK());
   }
 
+  const uint64_t query_span_id = query_span.span_id();
   std::vector<Status> statuses(n);
   std::atomic<size_t> remaining{n};
   Mutex mu;
@@ -63,10 +112,15 @@ Status QueryExecutor::ForEach(ExecContext* ctx, size_t n,
   for (size_t i = 0; i < n; ++i) {
     const auto submitted = std::chrono::steady_clock::now();
     pool_->Submit([&, i, submitted] {
-      m_queue_wait_us_->Record(static_cast<uint64_t>(
+      const auto waited = static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(
               std::chrono::steady_clock::now() - submitted)
-              .count()));
+              .count());
+      m_queue_wait_us_->Record(waited);
+      queue_wait_us.fetch_add(waited, std::memory_order_relaxed);
+      // Worker-side trace context: partition (and page-read) spans on this
+      // thread parent under the query span and carry its query id.
+      obs::TraceTaskScope task_scope(qid, query_span_id);
       statuses[i] = run(i);
       if (remaining.fetch_sub(1) == 1) {
         // Empty critical section on purpose: pairs the notify with the

@@ -1,14 +1,20 @@
 #include "exec/thread_pool.h"
 
+#include <string>
+
 #include "common/macros.h"
+#include "obs/trace.h"
 
 namespace payg {
 
-ThreadPool::ThreadPool(uint32_t threads) {
+ThreadPool::ThreadPool(uint32_t threads, const char* name_prefix) {
   PAYG_ASSERT_MSG(threads > 0, "thread pool needs at least one worker");
   workers_.reserve(threads);
   for (uint32_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i, name = std::string(name_prefix)] {
+      obs::Tracer::SetCurrentThreadName(name + "-" + std::to_string(i));
+      WorkerLoop();
+    });
   }
 }
 

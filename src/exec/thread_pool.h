@@ -17,7 +17,9 @@ namespace payg {
 // small. Workers live for the lifetime of the pool.
 class ThreadPool {
  public:
-  explicit ThreadPool(uint32_t threads);
+  // `name_prefix` labels the workers in trace dumps ("<prefix>-<k>");
+  // it does not affect scheduling.
+  explicit ThreadPool(uint32_t threads, const char* name_prefix = "worker");
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

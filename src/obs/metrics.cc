@@ -147,6 +147,63 @@ std::string MetricsRegistry::JsonDump() const {
   return out;
 }
 
+namespace {
+
+// "cache.shard0.pages" -> "payg_cache_shard0_pages". Registry names are
+// lowercase dotted paths (lint-enforced), so dots-to-underscores already
+// yields a legal Prometheus metric name.
+std::string PromName(const std::string& name) {
+  std::string out = "payg_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) out.push_back(c == '.' ? '_' : c);
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::PrometheusDump() const {
+  MutexLock lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string n = PromName(name);
+    Append(&out, "# TYPE %s counter\n", n.c_str());
+    Append(&out, "%s_total %" PRIu64 "\n", n.c_str(), c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string n = PromName(name);
+    Append(&out, "# TYPE %s gauge\n", n.c_str());
+    Append(&out, "%s %" PRId64 "\n", n.c_str(), g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = PromName(name);
+    Histogram::Snapshot s = h->snapshot();
+    Append(&out, "# TYPE %s histogram\n", n.c_str());
+    // Cumulative counts at the log2 bucket upper bounds: bucket 0 is {0}
+    // (le="0"), bucket i >= 1 is [2^(i-1), 2^i - 1] (le = 2^i - 1).
+    // Trailing empty buckets are elided; +Inf always closes the series.
+    int last = Histogram::kNumBuckets - 1;
+    while (last > 0 && s.buckets[last] == 0) --last;
+    uint64_t cumulative = 0;
+    for (int b = 0; b <= last; ++b) {
+      cumulative += s.buckets[b];
+      const uint64_t le =
+          b == 0 ? 0 : (b == 64 ? ~uint64_t{0} : (uint64_t{1} << b) - 1);
+      Append(&out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n", n.c_str(),
+             le, cumulative);
+    }
+    // +Inf and _count repeat the bucket total (not the count_ word): the
+    // snapshot's fields are loaded one relaxed atomic at a time, so under
+    // concurrent recording count_ can disagree with the bucket sum by a few
+    // in-flight events — deriving both from the buckets keeps the series
+    // monotone and self-consistent, which scrapers validate.
+    Append(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", n.c_str(),
+           cumulative);
+    Append(&out, "%s_sum %" PRIu64 "\n", n.c_str(), s.sum);
+    Append(&out, "%s_count %" PRIu64 "\n", n.c_str(), cumulative);
+  }
+  return out;
+}
+
 void MetricsRegistry::ResetAll() {
   MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();

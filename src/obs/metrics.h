@@ -115,6 +115,13 @@ class MetricsRegistry {
   // {"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,
   //  "sum":..,"mean":..,"p50":..,"p95":..,"p99":..,"buckets":[..]}}}
   std::string JsonDump() const;
+  // Prometheus text exposition (v0.0.4): dotted names mangled to
+  // `payg_<name_with_underscores>`, counters suffixed `_total`, histograms
+  // emitted as cumulative `_bucket{le="..."}` series over the log2 bucket
+  // upper bounds (le = 2^i - 1) plus `_sum`/`_count`. This is the scrape
+  // surface the stats dumper writes to metrics.prom and a future server
+  // endpoint serves verbatim.
+  std::string PrometheusDump() const;
 
   // Zeroes every registered metric (bench phase boundaries, tests).
   void ResetAll();

@@ -1,0 +1,102 @@
+#include "obs/slow_query_ring.h"
+
+#include <algorithm>
+
+#include "common/env.h"
+#include "obs/metrics.h"
+
+namespace payg::obs {
+
+SlowQueryRing& SlowQueryRing::Global() {
+  static auto* ring = new SlowQueryRing(
+      static_cast<size_t>(EnvLong("PAYG_SLOW_QUERY_RING", 1, 1024,
+                                  /*fallback=*/32)),
+      static_cast<uint64_t>(EnvLong("PAYG_SLOW_QUERY_US", 0, 1L << 40,
+                                    /*fallback=*/0)));
+  return *ring;
+}
+
+SlowQueryRing::SlowQueryRing(size_t capacity, uint64_t threshold_us)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      threshold_us_(threshold_us),
+      slots_(new Slot[capacity == 0 ? 1 : capacity]) {}
+
+size_t SlowQueryRing::MinSlot() const {
+  size_t best = 0;
+  uint64_t best_lat = slots_[0].latency_us.load(std::memory_order_relaxed);
+  for (size_t i = 1; i < capacity_; ++i) {
+    const uint64_t lat = slots_[i].latency_us.load(std::memory_order_relaxed);
+    if (lat < best_lat) {
+      best = i;
+      best_lat = lat;
+    }
+  }
+  return best;
+}
+
+void SlowQueryRing::Observe(const QueryProfile& profile) {
+  auto& reg = MetricsRegistry::Global();
+  static Counter* observed = reg.counter("profile.observed");
+  static Counter* admitted = reg.counter("profile.slow_admitted");
+  observed->Inc();
+  // wall_us == 0 is both "below any measurable latency" and the empty-slot
+  // sentinel; such a profile can never be among the N worst anyway.
+  if (profile.wall_us < threshold_us_ || profile.wall_us == 0) return;
+  // Two attempts: a lost race against a concurrent Observe re-reads the
+  // minimum once, then drops — never blocks, never loops unboundedly.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Slot& slot = slots_[MinSlot()];
+    if (slot.latency_us.load(std::memory_order_relaxed) >= profile.wall_us) {
+      return;  // already holding something at least as slow
+    }
+    MutexLock lock(slot.mu);
+    // Re-check under the lock: a racer may have installed a slower profile
+    // between the scan and the acquire.
+    if (slot.latency_us.load(std::memory_order_relaxed) < profile.wall_us) {
+      slot.profile = profile;
+      slot.latency_us.store(profile.wall_us, std::memory_order_relaxed);
+      admitted->Inc();
+      return;
+    }
+  }
+}
+
+std::vector<QueryProfile> SlowQueryRing::Snapshot() const {
+  std::vector<QueryProfile> out;
+  out.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    Slot& slot = slots_[i];
+    if (slot.latency_us.load(std::memory_order_relaxed) == 0) continue;
+    MutexLock lock(slot.mu);
+    if (slot.latency_us.load(std::memory_order_relaxed) == 0) continue;
+    out.push_back(slot.profile);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const QueryProfile& a, const QueryProfile& b) {
+              return a.wall_us > b.wall_us;
+            });
+  return out;
+}
+
+std::string SlowQueryRing::DumpJson() const {
+  std::vector<QueryProfile> profiles = Snapshot();
+  std::string out = "{\"threshold_us\":" + std::to_string(threshold_us_) +
+                    ",\"profiles\":[";
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    if (i > 0) out += ",";
+    out += profiles[i].ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
+void SlowQueryRing::Reset() {
+  for (size_t i = 0; i < capacity_; ++i) {
+    Slot& slot = slots_[i];
+    MutexLock lock(slot.mu);
+    slot.profile = QueryProfile();
+    slot.latency_us.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace payg::obs

@@ -1,0 +1,75 @@
+#ifndef PAYG_OBS_SLOW_QUERY_RING_H_
+#define PAYG_OBS_SLOW_QUERY_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "obs/query_profile.h"
+
+namespace payg::obs {
+
+// Keeps the N worst query profiles by wall latency. Mutex-striped: every
+// slot carries its own mutex plus a relaxed-atomic latency word, so Observe
+// scans lock-free for the current minimum and locks exactly one slot to
+// replace it — concurrent queries finishing on different slots never
+// contend, and a dump only blocks the one slot it is copying.
+//
+// Admission protocol (documented in DESIGN.md §S23):
+//   1. wall_us below the threshold (PAYG_SLOW_QUERY_US, default 0 = keep
+//      everything) is dropped without touching any slot.
+//   2. Otherwise scan the latency words for the smallest entry; if the new
+//      profile is slower, lock that slot, re-check under the lock (a racing
+//      Observe may have filled it with something slower), and replace.
+//   3. A lost race retries once against the fresh minimum, then gives up —
+//      the ring tracks "roughly the N worst", not a total order, and no
+//      query ever blocks on another query's bookkeeping.
+class SlowQueryRing {
+ public:
+  // Process-wide instance: capacity PAYG_SLOW_QUERY_RING (default 32,
+  // clamped to [1, 1024]), threshold PAYG_SLOW_QUERY_US (default 0).
+  static SlowQueryRing& Global();
+
+  explicit SlowQueryRing(size_t capacity, uint64_t threshold_us);
+
+  SlowQueryRing(const SlowQueryRing&) = delete;
+  SlowQueryRing& operator=(const SlowQueryRing&) = delete;
+
+  // Offers a completed profile for admission; cheap no-op when faster than
+  // the threshold and the current ring minimum.
+  void Observe(const QueryProfile& profile);
+
+  // Occupied slots, slowest first. Safe while queries keep finishing.
+  std::vector<QueryProfile> Snapshot() const;
+
+  // {"threshold_us":..,"profiles":[..]} with profiles slowest first.
+  std::string DumpJson() const;
+
+  void Reset();
+
+  size_t capacity() const { return capacity_; }
+  uint64_t threshold_us() const { return threshold_us_; }
+
+ private:
+  struct Slot {
+    // Mirror of profile.wall_us (0 = empty), readable without the mutex so
+    // the min-scan stays lock-free. The mutex guards the profile payload.
+    std::atomic<uint64_t> latency_us{0};
+    mutable Mutex mu;
+    QueryProfile profile GUARDED_BY(mu);
+  };
+
+  // Index of the smallest latency word (relaxed scan; racy by design).
+  size_t MinSlot() const;
+
+  const size_t capacity_;
+  const uint64_t threshold_us_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace payg::obs
+
+#endif  // PAYG_OBS_SLOW_QUERY_RING_H_

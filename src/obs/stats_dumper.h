@@ -1,0 +1,67 @@
+#ifndef PAYG_OBS_STATS_DUMPER_H_
+#define PAYG_OBS_STATS_DUMPER_H_
+
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace payg::obs {
+
+// Background exporter of the process observability surface. Every period it
+// atomically rewrites three files in the target directory:
+//   metrics.json      — MetricsRegistry::JsonDump()
+//   metrics.prom      — MetricsRegistry::PrometheusDump() (scrape format)
+//   slow_queries.json — SlowQueryRing::Global().DumpJson()
+// Each write goes to "<name>.tmp" then renames over the target, so a reader
+// (node_exporter textfile collector, a tailing script) never sees a torn
+// file. Off by default; armed by PAYG_STATS_DUMP_SECS > 0 with the target
+// directory from PAYG_STATS_DIR (default "payg_stats", created on demand).
+class StatsDumper {
+ public:
+  static StatsDumper& Global();
+
+  StatsDumper() = default;
+  ~StatsDumper() { Stop(); }
+
+  StatsDumper(const StatsDumper&) = delete;
+  StatsDumper& operator=(const StatsDumper&) = delete;
+
+  // Reads PAYG_STATS_DUMP_SECS / PAYG_STATS_DIR and starts the background
+  // thread when the period is non-zero. Idempotent; called from
+  // ColumnStore::Open so any store-embedding process gets the exporter for
+  // free once the env is set.
+  void StartFromEnv();
+
+  // Starts dumping every `period_secs` into `dir`. No-op if already
+  // running (the first configuration wins until Stop).
+  void Start(uint64_t period_secs, std::string dir);
+
+  // Stops and joins the background thread, then writes one final export so
+  // a process that exits before the first period still leaves a consistent
+  // last snapshot on disk. Safe to call when not running. Start registers
+  // an atexit hook that calls this, so clean process exit flushes too.
+  void Stop();
+
+  // One synchronous export into `dir` (also what the background thread
+  // runs). Public for tests and for on-demand dumps.
+  static Status DumpOnce(const std::string& dir);
+
+  bool running() const;
+
+ private:
+  void Loop(uint64_t period_secs, std::string dir);
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool running_ GUARDED_BY(mu_) = false;
+  std::string dir_ GUARDED_BY(mu_);
+  std::thread thread_;
+};
+
+}  // namespace payg::obs
+
+#endif  // PAYG_OBS_STATS_DUMPER_H_

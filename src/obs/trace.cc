@@ -23,7 +23,49 @@ size_t RoundUpPow2(size_t v) {
   return p;
 }
 
+// Per-thread trace context. `span` is the innermost armed TraceSpan (the
+// parent of whatever opens next); `query` is installed by TraceTaskScope
+// and stamped on every event the thread records.
+struct TraceTls {
+  uint64_t span = 0;
+  uint64_t query = 0;
+};
+
+TraceTls& Tls() {
+  thread_local TraceTls tls;
+  return tls;
+}
+
+std::atomic<uint64_t> g_next_span_id{1};
+
 }  // namespace
+
+uint64_t CurrentSpanId() { return Tls().span; }
+uint64_t CurrentQueryId() { return Tls().query; }
+
+uint64_t BeginSpan(uint64_t* parent) {
+  TraceTls& tls = Tls();
+  *parent = tls.span;
+  const uint64_t id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  tls.span = id;
+  return id;
+}
+
+void EndSpan(uint64_t parent) { Tls().span = parent; }
+
+TraceTaskScope::TraceTaskScope(uint64_t query_id, uint64_t parent_span_id) {
+  TraceTls& tls = Tls();
+  saved_span_ = tls.span;
+  saved_query_ = tls.query;
+  tls.span = parent_span_id;
+  tls.query = query_id;
+}
+
+TraceTaskScope::~TraceTaskScope() {
+  TraceTls& tls = Tls();
+  tls.span = saved_span_;
+  tls.query = saved_query_;
+}
 
 Tracer& Tracer::Global() {
   static auto* tracer = new Tracer();
@@ -43,9 +85,15 @@ void Tracer::Disable() {
   enabled_.store(false, std::memory_order_relaxed);
 }
 
+void Tracer::SetCurrentThreadName(const std::string& name) {
+  Tracer& t = Global();
+  MutexLock lock(t.names_mu_);
+  t.thread_names_[CurrentTid()] = name;
+}
+
 void Tracer::RecordSpan(const char* category, const char* name,
                         std::chrono::steady_clock::time_point start,
-                        uint64_t arg) {
+                        uint64_t arg, uint64_t span_id, uint64_t parent_id) {
   if (!enabled()) return;  // disabled between span start and end
   Ring* r = ring_.load(std::memory_order_acquire);
   if (r == nullptr) return;
@@ -64,6 +112,15 @@ void Tracer::RecordSpan(const char* category, const char* name,
           .count());
   ev.tid = CurrentTid();
   ev.arg = arg;
+  if (span_id == 0) {
+    // Direct RecordSpan call with no TraceSpan on the stack: mint an id so
+    // the event is still addressable, parented under the current span.
+    span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+    parent_id = Tls().span;
+  }
+  ev.span_id = span_id;
+  ev.parent_id = parent_id;
+  ev.query_id = Tls().query;
 
   const uint64_t ticket = r->head.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = r->slots[ticket & (r->capacity - 1)];
@@ -111,15 +168,42 @@ std::vector<TraceEvent> Tracer::Collect() const {
 std::string Tracer::DumpChromeTrace() const {
   std::vector<TraceEvent> events = Collect();
   std::string out = "{\"traceEvents\":[";
-  char buf[256];
-  for (size_t i = 0; i < events.size(); ++i) {
-    const TraceEvent& e = events[i];
+  char buf[320];
+  // Metadata first: the process name and one thread_name per tid that
+  // appears in the dump, so Perfetto lanes carry role labels
+  // ("exec-worker-0") instead of bare numbers.
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+         "\"args\":{\"name\":\"payg\"}}";
+  {
+    std::vector<uint32_t> tids;
+    tids.reserve(events.size());
+    for (const TraceEvent& e : events) tids.push_back(e.tid);
+    std::sort(tids.begin(), tids.end());
+    tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+    MutexLock lock(names_mu_);
+    for (uint32_t tid : tids) {
+      auto it = thread_names_.find(tid);
+      const std::string name = it != thread_names_.end()
+                                   ? it->second
+                                   : "thread-" + std::to_string(tid);
+      int n = std::snprintf(buf, sizeof(buf),
+                            ",{\"name\":\"thread_name\",\"ph\":\"M\","
+                            "\"pid\":1,\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+                            tid, name.c_str());
+      if (n > 0) out.append(buf, static_cast<size_t>(n));
+    }
+  }
+  for (const TraceEvent& e : events) {
     int n = std::snprintf(
         buf, sizeof(buf),
-        "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
-        "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"v\":%llu}}",
-        i == 0 ? "" : ",", e.name, e.category, e.start_ns / 1e3, e.dur_ns / 1e3,
-        e.tid, static_cast<unsigned long long>(e.arg));
+        ",{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"v\":%llu,"
+        "\"qid\":%llu,\"span\":%llu,\"parent\":%llu}}",
+        e.name, e.category, e.start_ns / 1e3, e.dur_ns / 1e3, e.tid,
+        static_cast<unsigned long long>(e.arg),
+        static_cast<unsigned long long>(e.query_id),
+        static_cast<unsigned long long>(e.span_id),
+        static_cast<unsigned long long>(e.parent_id));
     if (n > 0) out.append(buf, static_cast<size_t>(n));
   }
   out += "]}";

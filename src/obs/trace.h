@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,7 +15,11 @@ namespace payg::obs {
 
 // One completed span. `category`/`name` must be string literals (the ring
 // stores the pointers, not copies); `arg` carries one span-specific number
-// (partition index, logical page number, ...).
+// (partition index, logical page number, ...). `span_id`/`parent_id` link
+// spans into per-query trees (0 = root / unknown) and `query_id` stamps
+// every span recorded while a query scope was active on the thread, so a
+// Perfetto dump groups each query's partition/page-read/sweep spans into
+// one nested tree instead of an unordered soup.
 struct TraceEvent {
   const char* category = nullptr;
   const char* name = nullptr;
@@ -22,7 +27,16 @@ struct TraceEvent {
   uint64_t dur_ns = 0;
   uint32_t tid = 0;  // small per-thread id, stable for the process lifetime
   uint64_t arg = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  uint64_t query_id = 0;
 };
+
+// Thread-local span/query context. Span nesting is maintained by TraceSpan
+// itself; the query id is installed by TraceTaskScope (below) around a
+// query's work on each thread that executes part of it.
+uint64_t CurrentSpanId();
+uint64_t CurrentQueryId();
 
 // Fixed-size lock-free span ring shared by the whole process. Disabled by
 // default: the only cost a span pays then is one relaxed atomic load.
@@ -52,15 +66,24 @@ class Tracer {
   void Disable();
 
   // Records a completed span that started at `start` (steady clock).
+  // `span_id` == 0 (the direct-call form, no TraceSpan on the stack) mints
+  // a fresh id with the thread's current span as parent; the query id is
+  // always taken from the calling thread's scope.
   void RecordSpan(const char* category, const char* name,
-                  std::chrono::steady_clock::time_point start, uint64_t arg);
+                  std::chrono::steady_clock::time_point start, uint64_t arg,
+                  uint64_t span_id = 0, uint64_t parent_id = 0);
+
+  // Labels the calling thread in trace dumps ("exec-worker-3", "io-pool-0").
+  // Unnamed threads show as "thread-<tid>". Idempotent; last name wins.
+  static void SetCurrentThreadName(const std::string& name);
 
   // Events currently in the ring, in start-time order. Safe to call while
   // tracing is live; slots being written concurrently are skipped.
   std::vector<TraceEvent> Collect() const;
 
-  // Chrome trace-event JSON ("X" complete events, ts/dur in microseconds).
-  // Load in Perfetto / chrome://tracing.
+  // Chrome trace-event JSON ("X" complete events, ts/dur in microseconds,
+  // span/parent/query ids as args, plus "M" metadata events carrying the
+  // process name and per-thread names). Load in Perfetto / chrome://tracing.
   std::string DumpChromeTrace() const;
 
   // Events rejected because their slot was busy (slow writer on the
@@ -98,17 +121,34 @@ class Tracer {
   // through the ring_ atomic, never under a lock.
   Mutex control_mu_;
   std::vector<std::unique_ptr<Ring>> rings_ GUARDED_BY(control_mu_);
+
+  // tid -> display name, written once per thread at startup, read only by
+  // DumpChromeTrace. Separate from the rings: names survive re-Enable.
+  mutable Mutex names_mu_;
+  std::map<uint32_t, std::string> thread_names_ GUARDED_BY(names_mu_);
 };
+
+// Span-stack maintenance for TraceSpan (defined here, implemented in the
+// .cc so the thread-local stays private): BeginSpan mints an id, makes it
+// the thread's current span and returns the previous one through `parent`;
+// EndSpan restores `parent`.
+uint64_t BeginSpan(uint64_t* parent);
+void EndSpan(uint64_t parent);
 
 // RAII span: measures construction-to-destruction and records it into the
 // global tracer. When tracing is disabled the constructor is one relaxed
-// atomic load and the destructor one predictable branch.
+// atomic load and the destructor one predictable branch. While armed, the
+// span is the thread's current span, so spans opened below it (same thread)
+// become its children.
 class TraceSpan {
  public:
   TraceSpan(const char* category, const char* name, uint64_t arg = 0)
       : category_(category), name_(name), arg_(arg),
         armed_(Tracer::enabled()) {
-    if (armed_) start_ = std::chrono::steady_clock::now();
+    if (armed_) {
+      start_ = std::chrono::steady_clock::now();
+      span_id_ = BeginSpan(&parent_id_);
+    }
   }
 
   TraceSpan(const TraceSpan&) = delete;
@@ -116,16 +156,43 @@ class TraceSpan {
 
   ~TraceSpan() {
     if (armed_) {
-      Tracer::Global().RecordSpan(category_, name_, start_, arg_);
+      EndSpan(parent_id_);
+      Tracer::Global().RecordSpan(category_, name_, start_, arg_, span_id_,
+                                  parent_id_);
     }
   }
+
+  // This span's id while armed, 0 when tracing was off at construction.
+  // Hand it to TraceTaskScope on worker threads to parent their spans here.
+  uint64_t span_id() const { return armed_ ? span_id_ : 0; }
 
  private:
   const char* category_;
   const char* name_;
   uint64_t arg_;
   bool armed_;
+  uint64_t span_id_ = 0;
+  uint64_t parent_id_ = 0;
   std::chrono::steady_clock::time_point start_;
+};
+
+// Installs a query id (and optionally a parent span id) as the calling
+// thread's trace context for the scope's lifetime — the cross-thread
+// propagation primitive: the executor wraps each pooled partition task in
+// one of these so page-read spans on worker threads parent under the
+// query span and carry its query id. Two thread-local writes each way;
+// safe (and cheap) to use whether or not tracing is enabled.
+class TraceTaskScope {
+ public:
+  explicit TraceTaskScope(uint64_t query_id, uint64_t parent_span_id = 0);
+  ~TraceTaskScope();
+
+  TraceTaskScope(const TraceTaskScope&) = delete;
+  TraceTaskScope& operator=(const TraceTaskScope&) = delete;
+
+ private:
+  uint64_t saved_span_;
+  uint64_t saved_query_;
 };
 
 }  // namespace payg::obs

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/env.h"
+#include "common/stopwatch.h"
 #include "exec/exec_context.h"
 #include "exec/io_pool.h"
 
@@ -62,6 +63,12 @@ Result<PageRef> PageCache::GetPage(LogicalPageNo lpn, ExecContext* ctx) {
   if (ctx != nullptr) {
     PAYG_RETURN_IF_ERROR(ctx->CheckDeadline());
   }
+  // Cold/hit wait attribution for the query profile: the timestamp covers
+  // the whole call (shard lock, in-flight prefetch wait, physical read), so
+  // page_cold_us is exactly the time this query spent blocked on page
+  // loads. Only taken when a query is attached — the no-context path stays
+  // clock-free.
+  const uint64_t access_start_ns = ctx != nullptr ? MonotonicNanos() : 0;
   Shard& shard = ShardFor(lpn);
   {
     ShardLock lock(*this, shard);
@@ -84,6 +91,10 @@ Result<PageRef> PageCache::GetPage(LogicalPageNo lpn, ExecContext* ctx) {
           CountPrefetchHit(ctx);
         }
         CountPagePinned(ctx);
+        if (ctx != nullptr) {
+          CountPageAccess(ctx, /*cold=*/false,
+                          (MonotonicNanos() - access_start_ns) / 1000);
+        }
         hits_.fetch_add(1, std::memory_order_relaxed);
         m_hits_->Inc();
         return PageRef(it->second.page, std::move(pin), lpn);
@@ -135,6 +146,12 @@ Result<PageRef> PageCache::GetPage(LogicalPageNo lpn, ExecContext* ctx) {
         m_pin_waits_->Inc();
         pin.Release();
         rm_->Unregister(handle->id);
+        // Cold despite serving their bytes: this call paid a physical read
+        // (counted in pages_read), so the profile's cold count must match.
+        if (ctx != nullptr) {
+          CountPageAccess(ctx, /*cold=*/true,
+                          (MonotonicNanos() - access_start_ns) / 1000);
+        }
         return PageRef(it->second.page, std::move(theirs), lpn);
       }
       CountWastedLocked(shard, it->second);
@@ -143,6 +160,10 @@ Result<PageRef> PageCache::GetPage(LogicalPageNo lpn, ExecContext* ctx) {
     }
     shard.slots[lpn] = Slot{page, handle, gen, /*prefetched=*/false};
     shard.occupancy->Add(1);
+  }
+  if (ctx != nullptr) {
+    CountPageAccess(ctx, /*cold=*/true,
+                    (MonotonicNanos() - access_start_ns) / 1000);
   }
   return PageRef(std::move(page), std::move(pin), lpn);
 }

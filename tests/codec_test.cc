@@ -250,14 +250,10 @@ TEST_P(CodecPropertyTest, AllKernelsMatchReferenceOnAllTiersAndCodecs) {
             << CodecName(id) << " tier=" << SimdLevelName(tier.level)
             << " bits=" << bits;
       }
-      // The acceptance matrix, per tier: plain runs everything natively;
-      // FOR and RLE fall back only for search(in).
+      // The acceptance matrix, per tier: every codec runs every kernel
+      // natively (S23 closed the last FOR/RLE search(in) fallback row).
       EXPECT_GT(stats.native, 0u);
-      if (id == CodecId::kPlain) {
-        EXPECT_EQ(stats.fallback, 0u) << CodecName(id);
-      } else {
-        EXPECT_GT(stats.fallback, 0u) << CodecName(id);
-      }
+      EXPECT_EQ(stats.fallback, 0u) << CodecName(id);
     }
   }
 }
@@ -321,13 +317,8 @@ TEST(CodecTest, NativeFallbackMatrix) {
     EXPECT_EQ(s.native, 3u) << CodecName(id) << " range";
     EXPECT_EQ(s.fallback, 0u) << CodecName(id);
     CodecSearchIn(id, view, 0, values.size(), sorted_set, 0, &rows, &s);
-    if (id == CodecId::kPlain) {
-      EXPECT_EQ(s.native, 4u);
-      EXPECT_EQ(s.fallback, 0u);
-    } else {
-      EXPECT_EQ(s.native, 3u) << CodecName(id) << " in should fall back";
-      EXPECT_EQ(s.fallback, 1u) << CodecName(id);
-    }
+    EXPECT_EQ(s.native, 4u) << CodecName(id) << " in should be native";
+    EXPECT_EQ(s.fallback, 0u) << CodecName(id);
   }
 }
 
@@ -522,25 +513,19 @@ TEST_F(CodecPagedTest, IteratorCountsNativeAndFallbackKernels) {
       EXPECT_GT(it.codec_native(), 0u) << CodecName(id);
       EXPECT_EQ(it.codec_fallback(), 0u) << CodecName(id);
 
+      // search(in) is native on every codec too (S23: FOR residual
+      // translation, RLE run-catalog skipping).
       ASSERT_TRUE(it.SearchIn(0, static_cast<RowPos>(values.size()), in_set,
                               &rows)
                       .ok());
-      if (id == CodecId::kPlain) {
-        EXPECT_EQ(it.codec_fallback(), 0u);
-      } else {
-        EXPECT_GT(it.codec_fallback(), 0u) << CodecName(id);
-      }
+      EXPECT_EQ(it.codec_fallback(), 0u) << CodecName(id);
     }
     // The iterator folded its tallies into the process-wide codec.* pair
     // and the query's ExecContext on destruction.
     EXPECT_GT(g_native->value(), before_native) << CodecName(id);
     EXPECT_GT(ctx.stats.codec_native.load(), 0u) << CodecName(id);
-    if (id == CodecId::kPlain) {
-      EXPECT_EQ(g_fallback->value(), before_fallback);
-    } else {
-      EXPECT_GT(g_fallback->value(), before_fallback) << CodecName(id);
-      EXPECT_GT(ctx.stats.codec_fallback.load(), 0u) << CodecName(id);
-    }
+    EXPECT_EQ(g_fallback->value(), before_fallback) << CodecName(id);
+    EXPECT_EQ(ctx.stats.codec_fallback.load(), 0u) << CodecName(id);
   }
 }
 

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
+#include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -178,6 +181,124 @@ TEST(MetricsTest, JsonDumpIsValidJson) {
   EXPECT_TRUE(JsonChecker(json).Valid()) << json;
   EXPECT_NE(json.find("\"obs_test.json.hist\""), std::string::npos);
   EXPECT_NE(json.find("\"p95\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+TEST(PrometheusTest, DottedNamesMangleToPrefixedUnderscores) {
+  auto& reg = MetricsRegistry::Global();
+  reg.counter("obs_test.prom.requests")->Add(5);
+  reg.gauge("obs_test.prom.level")->Set(-3);
+  std::string prom = reg.PrometheusDump();
+  // Counter family: TYPE line on the dotted-to-underscore name, sample with
+  // the _total suffix; gauges keep their bare mangled name.
+  EXPECT_NE(prom.find("# TYPE payg_obs_test_prom_requests counter"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("payg_obs_test_prom_requests_total 5"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE payg_obs_test_prom_level gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("payg_obs_test_prom_level -3"), std::string::npos);
+  // No dotted metric name leaks into a sample line.
+  std::istringstream in(prom);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::string name = line.substr(0, line.find_first_of("{ "));
+    EXPECT_EQ(name.find('.'), std::string::npos) << line;
+  }
+}
+
+TEST(PrometheusTest, HistogramBucketsAreCumulativeWithMonotoneLe) {
+  auto& reg = MetricsRegistry::Global();
+  Histogram* h = reg.histogram("obs_test.prom.hist_us");
+  h->Reset();
+  for (uint64_t v : {0ull, 1ull, 3ull, 7ull, 100ull, 5000ull}) h->Record(v);
+  std::string prom = reg.PrometheusDump();
+
+  // Walk this family's _bucket lines: le strictly increasing, counts
+  // non-decreasing, +Inf last and equal to _count.
+  const std::string bucket_prefix = "payg_obs_test_prom_hist_us_bucket{le=\"";
+  double last_le = -1;
+  uint64_t last_count = 0;
+  uint64_t inf_count = 0;
+  bool saw_inf = false;
+  std::istringstream in(prom);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.compare(0, bucket_prefix.size(), bucket_prefix) != 0) continue;
+    const size_t le_start = bucket_prefix.size();
+    const size_t le_end = line.find('"', le_start);
+    ASSERT_NE(le_end, std::string::npos);
+    const std::string le_str = line.substr(le_start, le_end - le_start);
+    const uint64_t count =
+        std::strtoull(line.c_str() + line.rfind(' ') + 1, nullptr, 10);
+    EXPECT_GE(count, last_count) << line;
+    last_count = count;
+    if (le_str == "+Inf") {
+      saw_inf = true;
+      inf_count = count;
+    } else {
+      const double le = std::strtod(le_str.c_str(), nullptr);
+      EXPECT_GT(le, last_le) << line;
+      last_le = le;
+    }
+  }
+  EXPECT_TRUE(saw_inf);
+  EXPECT_EQ(inf_count, 6u);
+  EXPECT_NE(prom.find("payg_obs_test_prom_hist_us_count 6"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("payg_obs_test_prom_hist_us_sum 5111"),
+            std::string::npos)
+      << prom;
+}
+
+TEST(PrometheusTest, AgreesWithJsonDump) {
+  auto& reg = MetricsRegistry::Global();
+  reg.counter("obs_test.prom.consistency")->Add(17);
+  std::string prom = reg.PrometheusDump();
+  std::string json = reg.JsonDump();
+  // Same value through both expositions.
+  EXPECT_NE(prom.find("payg_obs_test_prom_consistency_total 17"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.prom.consistency\":17"), std::string::npos)
+      << json;
+}
+
+TEST(PrometheusTest, ScrapeWhileRecordingStaysSelfConsistent) {
+  auto& reg = MetricsRegistry::Global();
+  Histogram* h = reg.histogram("obs_test.prom.concurrent_us");
+  Counter* c = reg.counter("obs_test.prom.concurrent");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&stop, h, c] {
+      uint64_t v = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        h->Record(v++ % 4096);
+        c->Inc();
+      }
+    });
+  }
+  // Scrape concurrently: every dump must stay parseable, and the histogram
+  // family self-consistent (+Inf == _count is derived from one bucket walk,
+  // so torn count/sum loads cannot produce an impossible exposition).
+  for (int i = 0; i < 50; ++i) {
+    std::string prom = reg.PrometheusDump();
+    EXPECT_NE(prom.find("payg_obs_test_prom_concurrent_total"),
+              std::string::npos);
+  }
+  stop.store(true);
+  for (auto& w : writers) w.join();
+  std::string prom = reg.PrometheusDump();
+  EXPECT_TRUE(JsonChecker(reg.JsonDump()).Valid());
+  EXPECT_NE(prom.find("payg_obs_test_prom_concurrent_us_bucket"),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -368,6 +489,103 @@ TEST(TraceTest, ChromeDumpIsValidJson) {
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(json.find("\"page_read\""), std::string::npos);
   EXPECT_NE(json.find("\"cat\":\"io\""), std::string::npos);
+}
+
+TEST(TraceTest, NestedSpansFormAParentChildTree) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable(64);
+  {
+    TraceSpan outer("test", "tree_outer", 1);
+    const uint64_t outer_id = outer.span_id();
+    EXPECT_NE(outer_id, 0u);
+    EXPECT_EQ(CurrentSpanId(), outer_id);
+    TraceSpan inner("test", "tree_inner", 2);
+    EXPECT_EQ(CurrentSpanId(), inner.span_id());
+  }
+  EXPECT_EQ(CurrentSpanId(), 0u);  // stack fully unwound
+  tracer.Disable();
+  std::vector<TraceEvent> events = tracer.Collect();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent& outer_ev = events[0];
+  const TraceEvent& inner_ev = events[1];
+  EXPECT_STREQ(outer_ev.name, "tree_outer");
+  EXPECT_STREQ(inner_ev.name, "tree_inner");
+  EXPECT_NE(outer_ev.span_id, 0u);
+  EXPECT_EQ(inner_ev.parent_id, outer_ev.span_id);
+  // Distinct spans get distinct ids.
+  EXPECT_NE(inner_ev.span_id, outer_ev.span_id);
+}
+
+TEST(TraceTest, TaskScopePropagatesQueryIdAndParent) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable(64);
+  EXPECT_EQ(CurrentQueryId(), 0u);
+  uint64_t parent_span = 0;
+  {
+    TraceSpan query("exec", "qscope", 0);
+    parent_span = query.span_id();
+    // Simulate a worker thread picking up this query's task: the scope
+    // installs the query id and re-parents spans under the query span.
+    std::thread worker([parent_span] {
+      TraceTaskScope scope(/*query_id=*/77, parent_span);
+      EXPECT_EQ(CurrentQueryId(), 77u);
+      TraceSpan span("exec", "partition", 3);
+    });
+    worker.join();
+  }
+  EXPECT_EQ(CurrentQueryId(), 0u);  // scope restored on the worker only
+  tracer.Disable();
+  std::vector<TraceEvent> events = tracer.Collect();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent* part = nullptr;
+  for (const TraceEvent& e : events) {
+    if (std::strcmp(e.name, "partition") == 0) part = &e;
+  }
+  ASSERT_NE(part, nullptr);
+  EXPECT_EQ(part->query_id, 77u);
+  EXPECT_EQ(part->parent_id, parent_span);
+}
+
+TEST(TraceTest, DirectRecordSpanParentsUnderCurrentSpan) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable(64);
+  {
+    TraceSpan outer("test", "direct_outer", 0);
+    // The RecordSpan(category, name, start, arg) form — used by the sweep
+    // path — mints an id and parents under the enclosing span.
+    tracer.RecordSpan("buffer", "sweep", std::chrono::steady_clock::now(), 4);
+    const TraceEvent* sweep = nullptr;
+    std::vector<TraceEvent> mid = tracer.Collect();
+    for (const TraceEvent& e : mid) {
+      if (std::strcmp(e.name, "sweep") == 0) sweep = &e;
+    }
+    ASSERT_NE(sweep, nullptr);
+    EXPECT_NE(sweep->span_id, 0u);
+    EXPECT_EQ(sweep->parent_id, outer.span_id());
+  }
+  tracer.Disable();
+}
+
+TEST(TraceTest, ChromeDumpCarriesMetadataAndQueryIds) {
+  Tracer& tracer = Tracer::Global();
+  Tracer::SetCurrentThreadName("obs-test-main");
+  tracer.Enable(64);
+  {
+    TraceTaskScope scope(/*query_id=*/123);
+    TraceSpan span("exec", "query", 9);
+  }
+  tracer.Disable();
+  std::string json = tracer.DumpChromeTrace();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  // Metadata events label the process and the recording thread.
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos) << json;
+  EXPECT_NE(json.find("obs-test-main"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos) << json;
+  // The span carries its query id and tree links as Perfetto-visible args.
+  EXPECT_NE(json.find("\"qid\":123"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"span\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"parent\":"), std::string::npos) << json;
 }
 
 TEST(TraceTest, ReenableStartsFreshRing) {
