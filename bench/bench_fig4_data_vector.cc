@@ -12,7 +12,9 @@
 // with decode. scripts/bench_snapshot.sh records this as BENCH_fig4.json;
 // PAYG_SCAN_ONLY=1 skips the (slower) Q_pk^num figure run.
 
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -22,6 +24,7 @@
 #include "exec/exec_context.h"
 #include "paged/page_cache.h"
 #include "paged/paged_data_vector.h"
+#include "storage/io_backend.h"
 
 namespace payg::bench {
 namespace {
@@ -135,7 +138,111 @@ std::string RunCodecScanComparison(const BenchEnv& env) {
   return json;
 }
 
-void RunColdScanComparison(const BenchEnv& env, const std::string& codec_json) {
+// I/O backend sweep (S24): the same cold sequential scan swept over
+// backend × readahead window × queue depth at a simulated latency of one
+// device round trip per... round trip. The sync backend charges one round
+// trip per page no matter how the batch is shaped, so its depth legs are
+// flat; the uring backend charges one per submission wave (up to
+// PAYG_IO_DEPTH vectored commands in flight), so wide windows and deep
+// queues collapse many page latencies into one. Each uring row records its
+// speedup over the sync row with the same window and depth; returns the
+// "io_sweep" JSON array for the committed BENCH_fig4.json.
+std::string RunIoSweep(const BenchEnv& env) {
+  const uint32_t latency_us =
+      static_cast<uint32_t>(EnvU64("PAYG_SCAN_LATENCY_US", 1000));
+  const int reps = static_cast<int>(EnvU64("PAYG_SCAN_REPS", 5));
+
+  StorageOptions opts;
+  opts.page_size = static_cast<uint32_t>(EnvU64("PAYG_PAGE_SIZE", 8 * 1024));
+  opts.simulated_read_latency_us = latency_us;
+  const std::string dir = env.dir + "_io";
+  std::filesystem::remove_all(dir);
+  auto storage = StorageManager::Open(dir, opts);
+  BENCH_CHECK_OK(storage);
+  ResourceManager rm;
+
+  Random rng(505);
+  std::vector<ValueId> vids(env.rows);
+  for (uint64_t i = 0; i < env.rows; ++i) {
+    vids[i] = static_cast<ValueId>(rng.Uniform(1000));
+  }
+  auto dv = PagedDataVector::Build(storage->get(), &rm, PoolId::kPagedPool,
+                                   "io_col", vids);
+  BENCH_CHECK_OK(dv);
+
+  const std::string prev_backend = CurrentIoBackend()->name();
+  const uint32_t prev_depth = IoQueueDepth();
+  const bool have_uring = IoUringAvailable();
+  std::printf("# fig4 io sweep — rows=%llu pages=%llu latency_us=%u reps=%d "
+              "uring_available=%d\n",
+              static_cast<unsigned long long>(env.rows),
+              static_cast<unsigned long long>((*dv)->data_page_count()),
+              latency_us, reps, have_uring ? 1 : 0);
+
+  struct Leg {
+    const char* backend;
+    uint32_t window;
+    uint32_t depth;
+  };
+  std::vector<Leg> legs;
+  for (const char* backend : {"sync", "uring"}) {
+    if (!have_uring && std::string(backend) == "uring") continue;
+    for (uint32_t window : {4u, 16u}) {
+      for (uint32_t depth : {1u, 8u}) {
+        legs.push_back({backend, window, depth});
+      }
+    }
+  }
+
+  std::map<std::pair<uint32_t, uint32_t>, double> sync_mean;
+  std::string json = "[";
+  bool first = true;
+  for (const Leg& leg : legs) {
+    (*dv)->cache()->WaitForPrefetchIdle();
+    Status s = SetIoBackend(leg.backend);
+    if (!s.ok()) {
+      std::fprintf(stderr, "SetIoBackend(%s): %s\n", leg.backend,
+                   s.ToString().c_str());
+      std::abort();
+    }
+    SetIoQueueDepth(leg.depth);
+    ScanStats st = ColdScan(dv->get(), leg.window, reps);
+    double speedup;
+    if (std::string(leg.backend) == "sync") {
+      sync_mean[{leg.window, leg.depth}] = st.mean_ms;
+      speedup = 1.0;
+    } else {
+      const double base = sync_mean[{leg.window, leg.depth}];
+      speedup = st.mean_ms > 0 ? base / st.mean_ms : 0;
+    }
+    std::printf("fig4_io: backend=%-5s readahead=%-2u depth=%-3u "
+                "mean_ms=%.2f speedup_vs_sync=%.2fx\n",
+                leg.backend, leg.window, leg.depth, st.mean_ms, speedup);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    {\"backend\": \"%s\", \"readahead\": %u, "
+                  "\"depth\": %u, \"scan_ms\": ",
+                  first ? "" : ",", leg.backend, leg.window, leg.depth);
+    first = false;
+    json += buf;
+    AppendJsonRuns(&json, st);
+    std::snprintf(buf, sizeof(buf),
+                  ", \"mean_ms\": %.3f, \"speedup_vs_sync\": %.3f}",
+                  st.mean_ms, speedup);
+    json += buf;
+  }
+  json += "\n  ]";
+
+  if (!SetIoBackend(prev_backend.c_str()).ok()) std::abort();
+  SetIoQueueDepth(prev_depth);
+  dv->reset();
+  storage->reset();
+  std::filesystem::remove_all(dir);
+  return json;
+}
+
+void RunColdScanComparison(const BenchEnv& env, const std::string& codec_json,
+                           const std::string& io_json) {
   // Run this section at a latency where PageFile sleeps instead of spinning
   // (1 ms threshold) so prefetch reads genuinely overlap with decode even on
   // small machines; overridable for experiments on faster "devices".
@@ -204,6 +311,7 @@ void RunColdScanComparison(const BenchEnv& env, const std::string& codec_json) {
                   static_cast<unsigned long long>(on.prefetch_hits),
                   static_cast<unsigned long long>(on.prefetch_wasted));
     json += buf;
+    json += "  \"io_sweep\": " + io_json + ",\n";
     json += "  \"codec_scan\": " + codec_json + "\n}\n";
     std::FILE* f = std::fopen(path, "w");
     if (f == nullptr) {
@@ -227,8 +335,13 @@ int main() {
   using namespace payg;
   using namespace payg::bench;
   BenchEnv env = ReadEnv("fig4");
+  std::string io_json = RunIoSweep(env);
+  // The legacy sections run pinned to the sync backend so their numbers
+  // stay comparable with snapshots taken before the backend existed; the
+  // sweep above is where the backends face each other.
+  if (!SetIoBackend("sync").ok()) std::abort();
   std::string codec_json = RunCodecScanComparison(env);
-  RunColdScanComparison(env, codec_json);
+  RunColdScanComparison(env, codec_json, io_json);
   if (EnvU64("PAYG_SCAN_ONLY", 0) != 0) return 0;
   std::printf("# Fig 4 — Q_pk^num on T_b vs T_p: rows=%llu queries=%llu "
               "latency_us=%u\n",

@@ -3,7 +3,9 @@
 #   BENCH_fig1.json — packed-kernel primitives, scalar vs SIMD tiers
 #                     (google-benchmark JSON; names are <kernel>/<tier>/<bits>)
 #   BENCH_fig4.json — cold full-column scan, readahead off vs on at 1 ms
-#                     simulated page latency
+#                     simulated page latency, plus the io_sweep section:
+#                     the same scan across I/O backend (sync vs io_uring)
+#                     × readahead window × PAYG_IO_DEPTH
 #   BENCH_exec_scaling.json — GetPage throughput at 1/2/4/8 client threads,
 #                     hot (resident) and cold (evicting) sweeps. The shard
 #                     count is pinned to 8 so the recorded configuration is

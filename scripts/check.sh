@@ -22,6 +22,16 @@ cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 
+echo "== I/O backend legs: storage + cache + paged suites under sync and uring =="
+# The uring leg is skip-not-fail on hosts without io_uring: backend
+# selection falls back to sync (one-time stderr note) and the
+# uring-parameterized storage tests GTEST_SKIP, so the leg still passes.
+for backend in sync uring; do
+  echo "-- PAYG_IO_BACKEND=$backend"
+  env PAYG_IO_BACKEND="$backend" ctest --test-dir "$BUILD" \
+    --output-on-failure -j "$(nproc)" -R "Storage|Cache|Paged|Prefetch|Exec"
+done
+
 echo "== TSan build: buffer + exec + obs + profile + paged + cache-stress suites =="
 cmake -B "$BUILD-tsan" -S . -DPAYG_SANITIZE=thread >/dev/null
 cmake --build "$BUILD-tsan" -j --target buffer_test exec_test obs_test profile_test paged_test cache_stress_test

@@ -25,6 +25,7 @@ struct QueryStats {
   std::atomic<uint64_t> partitions_visited{0};
   std::atomic<uint64_t> prefetch_issued{0};  // readahead loads this query asked for
   std::atomic<uint64_t> prefetch_hits{0};    // pins served by a prefetched page
+  std::atomic<uint64_t> io_batches{0};       // batched read submissions issued
   std::atomic<uint64_t> codec_native{0};     // kernels run on compressed form
   std::atomic<uint64_t> codec_fallback{0};   // kernels via decode-into-scratch
   // Page-wait decomposition, counted by PageCache::GetPage: a cold access
@@ -48,6 +49,7 @@ struct QueryStats {
     uint64_t partitions_visited = 0;
     uint64_t prefetch_issued = 0;
     uint64_t prefetch_hits = 0;
+    uint64_t io_batches = 0;
     uint64_t codec_native = 0;
     uint64_t codec_fallback = 0;
     uint64_t page_cold_count = 0;
@@ -67,6 +69,7 @@ struct QueryStats {
     s.partitions_visited = partitions_visited.load(std::memory_order_relaxed);
     s.prefetch_issued = prefetch_issued.load(std::memory_order_relaxed);
     s.prefetch_hits = prefetch_hits.load(std::memory_order_relaxed);
+    s.io_batches = io_batches.load(std::memory_order_relaxed);
     s.codec_native = codec_native.load(std::memory_order_relaxed);
     s.codec_fallback = codec_fallback.load(std::memory_order_relaxed);
     s.page_cold_count = page_cold_count.load(std::memory_order_relaxed);
@@ -93,6 +96,7 @@ struct QueryStats {
     static obs::Counter* prefetch_issued =
         reg.counter("query.prefetch_issued");
     static obs::Counter* prefetch_hits = reg.counter("query.prefetch_hits");
+    static obs::Counter* io_batches = reg.counter("query.io_batches");
     static obs::Counter* codec_native = reg.counter("query.codec_native");
     static obs::Counter* codec_fallback =
         reg.counter("query.codec_fallback");
@@ -110,6 +114,7 @@ struct QueryStats {
     partitions_visited->Add(s.partitions_visited);
     prefetch_issued->Add(s.prefetch_issued);
     prefetch_hits->Add(s.prefetch_hits);
+    io_batches->Add(s.io_batches);
     codec_native->Add(s.codec_native);
     codec_fallback->Add(s.codec_fallback);
     page_cold_count->Add(s.page_cold_count);
@@ -218,6 +223,11 @@ inline void CountPrefetchIssued(ExecContext* ctx) {
 inline void CountPrefetchHit(ExecContext* ctx) {
   if (ctx != nullptr) {
     ctx->stats.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+inline void CountIoBatch(ExecContext* ctx) {
+  if (ctx != nullptr) {
+    ctx->stats.io_batches.fetch_add(1, std::memory_order_relaxed);
   }
 }
 inline void CountCodecKernels(ExecContext* ctx, uint64_t native,

@@ -6,10 +6,14 @@
 namespace payg {
 
 // Process-wide background I/O pool used for page readahead (PageCache::
-// Prefetch). Deliberately tiny — its job is to overlap a handful of page
-// reads with decode, not to parallelize I/O — and intentionally separate
-// from the query executor's pool so prefetch work can never starve query
-// tasks (or vice versa). Sized by PAYG_PREFETCH_THREADS (default 2,
+// PrefetchRange). Each task is one batched submission — the thread acts as
+// submitter and reaper of its own I/O batch (its io_uring ring is
+// thread_local), publishing pages into the cache as completions arrive —
+// rather than one blocking worker per page, so the pool stays deliberately
+// tiny: parallelism across pages comes from queue depth inside a batch, the
+// pool only overlaps consecutive batches with decode. Intentionally
+// separate from the query executor's pool so prefetch work can never starve
+// query tasks (or vice versa). Sized by PAYG_PREFETCH_THREADS (default 2,
 // clamped to [1, 16]). Created on first use and intentionally leaked:
 // prefetch tasks may still be draining at process exit, and joining them
 // from a static destructor would race with other static teardown.

@@ -169,27 +169,72 @@ Result<PageRef> PageCache::GetPage(LogicalPageNo lpn, ExecContext* ctx) {
 }
 
 void PageCache::Prefetch(LogicalPageNo lpn, ExecContext* ctx) {
-  Shard& shard = ShardFor(lpn);
-  {
-    ShardLock lock(*this, shard);
-    if (shard.slots.count(lpn) > 0 || shard.inflight.count(lpn) > 0) return;
-    shard.inflight.insert(lpn);
-  }
-  prefetch_issued_.fetch_add(1, std::memory_order_relaxed);
-  m_prefetch_issued_->Inc();
-  CountPrefetchIssued(ctx);
-  // Note: the task must not touch `ctx` — it may outlive the query.
-  SharedIoPool()->Submit([this, lpn] { DoPrefetch(lpn); });
+  PrefetchRange(lpn, 1, ctx);
 }
 
-void PageCache::DoPrefetch(LogicalPageNo lpn) {
+void PageCache::PrefetchRange(LogicalPageNo first, uint32_t count,
+                              ExecContext* ctx) {
+  if (count == 0) return;
+  const uint64_t limit = file_->page_count();
+  if (first >= limit) return;
+  if (first + count > limit) count = static_cast<uint32_t>(limit - first);
+
+  // Mark the surviving pages in flight one shard at a time (never two shard
+  // locks at once); pages already resident or already loading drop out —
+  // that dedup is what lets GetPage wait on the in-flight entry instead of
+  // re-reading.
+  std::vector<LogicalPageNo> lpns;
+  lpns.reserve(count);
+  for (uint32_t w = 0; w < count; ++w) {
+    const LogicalPageNo lpn = first + w;
+    Shard& shard = ShardFor(lpn);
+    ShardLock lock(*this, shard);
+    if (shard.slots.count(lpn) > 0 || shard.inflight.count(lpn) > 0) continue;
+    shard.inflight.insert(lpn);
+    lpns.push_back(lpn);
+  }
+  if (lpns.empty()) return;
+
+  prefetch_issued_.fetch_add(lpns.size(), std::memory_order_relaxed);
+  m_prefetch_issued_->Add(lpns.size());
+  for (size_t i = 0; i < lpns.size(); ++i) CountPrefetchIssued(ctx);
+  CountIoBatch(ctx);
+  // Note: the task must not touch `ctx` — it may outlive the query.
+  SharedIoPool()->Submit(
+      [this, lpns = std::move(lpns)] { DoBatchRead(lpns); });
+}
+
+void PageCache::DoBatchRead(const std::vector<LogicalPageNo>& lpns) {
+  // One batched submission for the whole window. PublishPrefetched fires
+  // per page from inside ReadPages as that page's bytes complete and
+  // verify; its in-flight erase is the teardown signal, so after the LAST
+  // publish this cache may already be gone — everything this frame touches
+  // afterwards is local, and ReadPages itself holds the PageFile alive
+  // (PageFile::inflight_batches_).
+  const size_t n = lpns.size();
+  std::vector<std::shared_ptr<Page>> pages;
+  pages.reserve(n);
+  std::vector<Page*> raw;
+  raw.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pages.push_back(std::make_shared<Page>(file_->page_size()));
+    raw.push_back(pages[i].get());
+  }
+  std::vector<Status> statuses(n);
+  file_->ReadPages(lpns.data(), raw.data(), statuses.data(), n,
+                   /*ctx=*/nullptr, [&](size_t i) {
+                     PublishPrefetched(lpns[i], pages[i], statuses[i]);
+                   });
+}
+
+void PageCache::PublishPrefetched(LogicalPageNo lpn,
+                                  std::shared_ptr<Page> page,
+                                  const Status& st) {
   // Erasing `lpn` from its shard's inflight set is the signal DropAll / the
   // destructor wait on before tearing the cache down, so it must be the
-  // LAST access to `this` in the task — notify while still holding the
+  // LAST access to `this` for this page — notify while still holding the
   // shard lock, touch nothing of the cache afterwards.
   Shard& shard = ShardFor(lpn);
-  auto page = std::make_shared<Page>(file_->page_size());
-  Status st = file_->ReadPage(lpn, page.get(), nullptr);
   if (!st.ok()) {
     ShardLock lock(*this, shard);
     prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
@@ -218,7 +263,8 @@ void PageCache::DoPrefetch(LogicalPageNo lpn) {
       prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
       m_prefetch_wasted_->Inc();
     } else {
-      shard.slots[lpn] = Slot{page, handle, gen, /*prefetched=*/true};
+      shard.slots[lpn] = Slot{std::move(page), handle, gen,
+                              /*prefetched=*/true};
       shard.occupancy->Add(1);
     }
   }

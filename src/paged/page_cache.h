@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "buffer/resource_manager.h"
 #include "common/result.h"
@@ -81,6 +82,17 @@ class PageCache {
   // happens after this call returns and is accounted to the cache only,
   // because the background task may outlive the query.
   void Prefetch(LogicalPageNo lpn, ExecContext* ctx = nullptr);
+
+  // Batched readahead: one submission for `count` consecutive pages
+  // starting at `first` (clamped to the chain, already-resident and
+  // already-in-flight pages filtered out). The surviving pages go to the
+  // I/O pool as ONE task whose batched read (PageFile::ReadPages) publishes
+  // each page into its shard as that page's bytes complete — a concurrent
+  // GetPage waiting on the in-flight entry wakes when its page lands, not
+  // when the whole batch does. Counts one query.io_batches on `ctx` when
+  // any page is actually issued; per-page accounting matches Prefetch.
+  void PrefetchRange(LogicalPageNo first, uint32_t count,
+                     ExecContext* ctx = nullptr);
 
   // Blocks until no prefetch load is in flight (tests / benchmarks; new
   // prefetches may be issued while this returns). Waits shard by shard,
@@ -193,8 +205,16 @@ class PageCache {
   // registration identified by `generation`.
   void EvictSlot(LogicalPageNo lpn, uint64_t generation);
 
-  // Body of a prefetch task on the background I/O pool.
-  void DoPrefetch(LogicalPageNo lpn);
+  // Body of a prefetch task on the background I/O pool: one batched read
+  // over `lpns` (all already marked in-flight), publishing per page.
+  void DoBatchRead(const std::vector<LogicalPageNo>& lpns);
+
+  // Completion hook of the batched read: registers + inserts `page` into
+  // its shard (or counts it wasted on error / when superseded), then — as
+  // the very LAST access to `this` for this page — erases the in-flight
+  // entry and notifies waiters.
+  void PublishPrefetched(LogicalPageNo lpn, std::shared_ptr<Page> page,
+                         const Status& st);
 
   // Counts a slot of `shard` leaving the cache untouched after a prefetch.
   void CountWastedLocked(const Shard& shard, const Slot& slot)

@@ -329,14 +329,29 @@ bool PagedDataVectorIterator::MayContain(RowPos rpos, ValueId lo,
 Status PagedDataVectorIterator::Reposition(RowPos rpos, bool sequential) {
   LogicalPageNo lpn = dv_->PageOfRow(rpos);
   if (lpn == current_lpn_ && current_.valid()) return Status::OK();
-  // On a forward scan, ask for the window behind this page before pinning
-  // it: the background loads then overlap with both this page's (possible)
-  // synchronous load and its decode.
-  if (sequential) {
-    for (uint32_t w = 1; w <= readahead_; ++w) {
-      const LogicalPageNo next = lpn + w;
-      if (next > dv_->data_pages_) break;  // data pages are 1..data_pages_
-      dv_->cache_->Prefetch(next, ctx_);
+  // On a forward scan, keep the readahead window topped up before pinning
+  // this page: the background loads then overlap with both this page's
+  // (possible) synchronous load and its decode. The frontier remembers how
+  // far readahead has already been issued, so instead of re-asking for the
+  // whole window at every page (which the cache's in-flight dedup would
+  // shrink to one page per reposition) the window is refilled in batches of
+  // ~readahead_/2 pages — multi-page PrefetchRange submissions the I/O
+  // backend can turn into vectored reads.
+  if (sequential && readahead_ > 0) {
+    if (ra_frontier_ <= lpn || lpn < current_lpn_ || current_lpn_ == kInvalidPageNo) {
+      // Fresh scan, or the cursor jumped (backward or past the frontier):
+      // restart the window at this page.
+      ra_frontier_ = lpn + 1;
+    }
+    if ((ra_frontier_ - lpn - 1) * 2 <= readahead_) {
+      LogicalPageNo want_hi = lpn + readahead_;
+      if (want_hi > dv_->data_pages_) want_hi = dv_->data_pages_;
+      if (want_hi >= ra_frontier_) {  // data pages are 1..data_pages_
+        dv_->cache_->PrefetchRange(
+            ra_frontier_, static_cast<uint32_t>(want_hi - ra_frontier_ + 1),
+            ctx_);
+        ra_frontier_ = want_hi + 1;
+      }
     }
   }
   // Pin the new page after releasing the handle to the previous page

@@ -194,6 +194,9 @@ class PagedDataVectorIterator {
   uint64_t pages_touched_ = 0;
   uint64_t pages_pruned_ = 0;
   uint32_t readahead_ = DefaultReadaheadWindow();
+  // First data page not yet covered by an issued readahead; maintained by
+  // sequential Reposition so window refills arrive as multi-page batches.
+  LogicalPageNo ra_frontier_ = 0;
   bool use_summary_ = true;
   bool summary_checked_ = false;
   std::shared_ptr<PageSummary> summary_;

@@ -121,6 +121,9 @@ class PagedIndexIterator {
   uint64_t end_ = 0;     // one past the last posting of the current vid
   uint64_t pages_touched_ = 0;
   uint32_t readahead_ = DefaultReadaheadWindow();
+  // First postinglist page not yet covered by an issued readahead; lets the
+  // forward posting walk refill its window as multi-page batches.
+  LogicalPageNo ra_frontier_ = 0;
 };
 
 }  // namespace payg

@@ -1,0 +1,418 @@
+// io_uring read backend: vectored multi-page SQEs from one submission
+// queue per submitter thread, reaped completion by completion so the cache
+// can publish each page the moment its bytes land. Raw syscalls + mmap'd
+// rings (no liburing dependency); compile-guarded so non-Linux builds fall
+// back to the sync backend via UringBackendOrNull() == nullptr.
+
+#include "storage/io_backend.h"
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#define PAYG_HAS_IO_URING 1
+#endif
+
+#ifdef PAYG_HAS_IO_URING
+
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace payg {
+
+namespace {
+
+// Pages folded into one vectored SQE. Deliberately small: one SQE models
+// one device command (one simulated round trip), so the cap keeps the
+// PAYG_IO_DEPTH axis meaningful — a 16-page window is 4 commands whose
+// overlap the queue depth governs, not one mega-command.
+constexpr size_t kMaxPagesPerSqe = 4;
+constexpr int kMaxRunRetries = 8;
+
+int SysIoUringSetup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysIoUringEnter(int fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags) {
+  return static_cast<int>(syscall(__NR_io_uring_enter, fd, to_submit,
+                                  min_complete, flags, nullptr, 0));
+}
+
+// One mmap'd submission/completion ring pair. Each submitter thread owns
+// one (thread_local), so no cross-thread coordination is needed on the
+// ring itself; the kernel is the only other party, synchronized through
+// acquire/release on the mapped head/tail words.
+struct Ring {
+  int fd = -1;
+  uint32_t sq_entries = 0;
+  uint32_t cq_entries = 0;
+  void* sq_ptr = nullptr;
+  size_t sq_map_sz = 0;
+  void* cq_ptr = nullptr;  // == sq_ptr under IORING_FEAT_SINGLE_MMAP
+  size_t cq_map_sz = 0;
+  io_uring_sqe* sqes = nullptr;
+  size_t sqes_map_sz = 0;
+  unsigned* sq_head = nullptr;
+  unsigned* sq_tail = nullptr;
+  unsigned* sq_mask = nullptr;
+  unsigned* sq_array = nullptr;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned* cq_mask = nullptr;
+  io_uring_cqe* cqes = nullptr;
+
+  ~Ring() { Teardown(); }
+
+  bool Init(uint32_t want_entries) {
+    io_uring_params p;
+    std::memset(&p, 0, sizeof(p));
+    fd = SysIoUringSetup(want_entries, &p);
+    if (fd < 0) return false;
+    sq_entries = p.sq_entries;
+    cq_entries = p.cq_entries;
+    sq_map_sz = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+    cq_map_sz = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+    const bool single_mmap = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap && cq_map_sz > sq_map_sz) sq_map_sz = cq_map_sz;
+    sq_ptr = ::mmap(nullptr, sq_map_sz, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+    if (sq_ptr == MAP_FAILED) {
+      sq_ptr = nullptr;
+      Teardown();
+      return false;
+    }
+    if (single_mmap) {
+      cq_ptr = sq_ptr;
+      cq_map_sz = 0;  // owned by the sq mapping
+    } else {
+      cq_ptr = ::mmap(nullptr, cq_map_sz, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_CQ_RING);
+      if (cq_ptr == MAP_FAILED) {
+        cq_ptr = nullptr;
+        Teardown();
+        return false;
+      }
+    }
+    sqes_map_sz = p.sq_entries * sizeof(io_uring_sqe);
+    void* m = ::mmap(nullptr, sqes_map_sz, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES);
+    if (m == MAP_FAILED) {
+      Teardown();
+      return false;
+    }
+    sqes = static_cast<io_uring_sqe*>(m);
+    auto* sq = static_cast<uint8_t*>(sq_ptr);
+    sq_head = reinterpret_cast<unsigned*>(sq + p.sq_off.head);
+    sq_tail = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+    sq_mask = reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+    sq_array = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+    auto* cq = static_cast<uint8_t*>(cq_ptr);
+    cq_head = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+    cq_tail = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+    cq_mask = reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+    cqes = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+    return true;
+  }
+
+  void Teardown() {
+    if (sqes != nullptr) ::munmap(sqes, sqes_map_sz);
+    if (cq_ptr != nullptr && cq_ptr != sq_ptr) ::munmap(cq_ptr, cq_map_sz);
+    if (sq_ptr != nullptr) ::munmap(sq_ptr, sq_map_sz);
+    if (fd >= 0) ::close(fd);
+    sqes = nullptr;
+    cq_ptr = nullptr;
+    sq_ptr = nullptr;
+    fd = -1;
+    sq_entries = 0;
+  }
+
+  bool valid() const { return fd >= 0; }
+};
+
+uint32_t CeilPow2(uint32_t v) {
+  uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+// Lazily (re)initialized per submitter thread, sized to the current
+// PAYG_IO_DEPTH. Returns null when setup fails on this thread (resource
+// limits); the caller then degrades to synchronous per-page reads.
+Ring* ThreadRing() {
+  thread_local Ring ring;
+  const uint32_t want = CeilPow2(IoQueueDepth());
+  if (ring.valid() && ring.sq_entries >= want) return &ring;
+  ring.Teardown();
+  if (!ring.Init(want)) return nullptr;
+  return &ring;
+}
+
+// A contiguous span of requests served by one SQE.
+struct Run {
+  size_t first = 0;  // index into the request array
+  size_t npages = 0;
+  int retries = 0;
+};
+
+class UringIoBackend final : public IoBackend {
+ public:
+  const char* name() const override { return "uring"; }
+  bool queue_depth_aware() const override { return true; }
+
+  void ReadBatch(int fd, uint32_t page_size, PageIoRequest* reqs, size_t n,
+                 uint32_t simulated_latency_us,
+                 const PageIoDoneFn& done) override {
+    if (n == 0) return;
+    Ring* ring = ThreadRing();
+    if (ring == nullptr) {
+      FallbackSequential(fd, page_size, reqs, n, simulated_latency_us, done);
+      return;
+    }
+
+    // Carve the batch into contiguous runs; each run is one vectored SQE.
+    std::vector<Run> runs;
+    runs.reserve(n);
+    std::vector<iovec> iov(n);  // flat, stable; run r owns [first, first+npages)
+    for (size_t i = 0; i < n;) {
+      size_t len = 1;
+      while (i + len < n && len < kMaxPagesPerSqe &&
+             reqs[i + len].lpn == reqs[i].lpn + len) {
+        ++len;
+      }
+      for (size_t k = 0; k < len; ++k) {
+        iov[i + k].iov_base = reqs[i + k].buf;
+        iov[i + k].iov_len = page_size;
+      }
+      runs.push_back(Run{i, len, 0});
+      i += len;
+    }
+
+    const uint32_t depth = std::min(IoQueueDepth(), ring->sq_entries);
+    std::deque<size_t> pending;  // run indexes not yet submitted
+    for (size_t r = 0; r < runs.size(); ++r) pending.push_back(r);
+    std::vector<char> finalized(runs.size(), 0);
+    size_t inflight = 0;
+    size_t completed_pages = 0;
+
+    while (completed_pages < n) {
+      // Fill the submission queue up to the configured depth.
+      unsigned to_submit = 0;
+      while (!pending.empty() && inflight < depth) {
+        const size_t r = pending.front();
+        pending.pop_front();
+        const Run& run = runs[r];
+        const uint64_t off =
+            static_cast<uint64_t>(reqs[run.first].lpn) * page_size;
+        PushSqe(ring, fd, run, &iov[run.first], off, r);
+        ++inflight;
+        ++to_submit;
+      }
+      // One simulated device round trip covers everything submitted in
+      // this wave — the queue-depth-aware cost model: a wave of `depth`
+      // commands costs what one command costs.
+      if (to_submit > 0) ChargeSimulatedLatency(simulated_latency_us);
+      if (!Submit(ring, to_submit)) {
+        FailUnfinished(reqs, runs, &finalized, &completed_pages, done,
+                       std::string("io_uring_enter: ") +
+                           std::strerror(errno));
+        return;
+      }
+      if (inflight == 0) continue;
+      if (!WaitForCompletion(ring)) {
+        FailUnfinished(reqs, runs, &finalized, &completed_pages, done,
+                       std::string("io_uring_enter(wait): ") +
+                           std::strerror(errno));
+        return;
+      }
+      // Reap every available completion, publishing page by page.
+      unsigned head = __atomic_load_n(ring->cq_head, __ATOMIC_ACQUIRE);
+      const unsigned tail = __atomic_load_n(ring->cq_tail, __ATOMIC_ACQUIRE);
+      while (head != tail) {
+        const io_uring_cqe& cqe = ring->cqes[head & *ring->cq_mask];
+        const size_t r = static_cast<size_t>(cqe.user_data);
+        Run& run = runs[r];
+        --inflight;
+        if (cqe.res == -EINTR || cqe.res == -EAGAIN) {
+          if (++run.retries <= kMaxRunRetries) {
+            pending.push_back(r);  // transient: resubmit the whole run
+          } else {
+            FinishRun(reqs, page_size, run, 0,
+                      Status::IOError(
+                          std::string("io_uring read: persistent ") +
+                          std::strerror(-cqe.res)),
+                      &completed_pages, done);
+            finalized[r] = 1;
+          }
+        } else if (cqe.res < 0) {
+          FinishRun(reqs, page_size, run, 0,
+                    Status::IOError(std::string("io_uring read: ") +
+                                    std::strerror(-cqe.res)),
+                    &completed_pages, done);
+          finalized[r] = 1;
+        } else {
+          FinishRun(reqs, page_size, run, static_cast<size_t>(cqe.res),
+                    Status::OK(), &completed_pages, done);
+          finalized[r] = 1;
+        }
+        ++head;
+        __atomic_store_n(ring->cq_head, head, __ATOMIC_RELEASE);
+      }
+    }
+  }
+
+ private:
+  static void PushSqe(Ring* ring, int fd, const Run& run, const iovec* iov,
+                      uint64_t offset, size_t run_index) {
+    const unsigned tail = *ring->sq_tail;  // single producer: plain read ok
+    const unsigned idx = tail & *ring->sq_mask;
+    io_uring_sqe* s = &ring->sqes[idx];
+    std::memset(s, 0, sizeof(*s));
+    s->opcode = IORING_OP_READV;
+    s->fd = fd;
+    s->addr = reinterpret_cast<uint64_t>(iov);
+    s->len = static_cast<uint32_t>(run.npages);
+    s->off = offset;
+    s->user_data = run_index;
+    ring->sq_array[idx] = idx;
+    __atomic_store_n(ring->sq_tail, tail + 1, __ATOMIC_RELEASE);
+  }
+
+  // Submits `to_submit` SQEs (no wait). Retries EINTR/EAGAIN; returns
+  // false on a hard failure (errno preserved).
+  static bool Submit(Ring* ring, unsigned to_submit) {
+    while (to_submit > 0) {
+      const int fault = internal::ConsumeInjectedFault();
+      internal::CountReadSyscall();
+      int r;
+      if (fault != 0) {
+        errno = fault;
+        r = -1;
+      } else {
+        r = SysIoUringEnter(ring->fd, to_submit, 0, 0);
+      }
+      if (r < 0) {
+        if (errno == EINTR || errno == EAGAIN) continue;
+        return false;
+      }
+      to_submit -= static_cast<unsigned>(r);
+    }
+    return true;
+  }
+
+  // Blocks until at least one completion is reapable. Retries EINTR.
+  static bool WaitForCompletion(Ring* ring) {
+    for (;;) {
+      const unsigned head = __atomic_load_n(ring->cq_head, __ATOMIC_ACQUIRE);
+      const unsigned tail = __atomic_load_n(ring->cq_tail, __ATOMIC_ACQUIRE);
+      if (head != tail) return true;
+      const int fault = internal::ConsumeInjectedFault();
+      internal::CountReadSyscall();
+      int r;
+      if (fault != 0) {
+        errno = fault;
+        r = -1;
+      } else {
+        r = SysIoUringEnter(ring->fd, 0, 1, IORING_ENTER_GETEVENTS);
+      }
+      if (r < 0 && errno != EINTR && errno != EAGAIN) return false;
+    }
+  }
+
+  // Finalizes every page of one run from its completed byte count: pages
+  // fully covered are OK, the rest surface a short-read error — a failed
+  // run never poisons pages outside it.
+  static void FinishRun(PageIoRequest* reqs, uint32_t page_size,
+                        const Run& run, size_t got, const Status& st,
+                        size_t* completed_pages, const PageIoDoneFn& done) {
+    for (size_t k = 0; k < run.npages; ++k) {
+      PageIoRequest& q = reqs[run.first + k];
+      if (!st.ok()) {
+        q.status = st;
+      } else if ((k + 1) * static_cast<size_t>(page_size) <= got) {
+        q.status = Status::OK();
+      } else {
+        q.status = Status::IOError(
+            "short read at lpn " + std::to_string(q.lpn) + " (got " +
+            std::to_string(got) + " bytes of a " +
+            std::to_string(run.npages) + "-page run)");
+      }
+      ++*completed_pages;
+      if (done) done(run.first + k);
+    }
+  }
+
+  // After a hard submission failure every run not yet finalized gets `msg`,
+  // so the caller always sees exactly one final status per page.
+  static void FailUnfinished(PageIoRequest* reqs, const std::vector<Run>& runs,
+                             std::vector<char>* finalized,
+                             size_t* completed_pages, const PageIoDoneFn& done,
+                             const std::string& msg) {
+    for (size_t r = 0; r < runs.size(); ++r) {
+      if ((*finalized)[r]) continue;
+      (*finalized)[r] = 1;
+      for (size_t k = 0; k < runs[r].npages; ++k) {
+        reqs[runs[r].first + k].status = Status::IOError(msg);
+        ++*completed_pages;
+        if (done) done(runs[r].first + k);
+      }
+    }
+  }
+
+  // Ring-less degradation: plain sequential preads with per-page round
+  // trips (mirrors the sync backend's cost model).
+  static void FallbackSequential(int fd, uint32_t page_size,
+                                 PageIoRequest* reqs, size_t n,
+                                 uint32_t simulated_latency_us,
+                                 const PageIoDoneFn& done) {
+    for (size_t i = 0; i < n; ++i) {
+      ChargeSimulatedLatency(simulated_latency_us);
+      size_t got = 0;
+      Status st = PreadFull(fd, reqs[i].buf, page_size,
+                            static_cast<off_t>(reqs[i].lpn) * page_size,
+                            &got);
+      if (st.ok() && got < page_size) {
+        st = Status::IOError("short read at lpn " +
+                             std::to_string(reqs[i].lpn));
+      }
+      reqs[i].status = st;
+      if (done) done(i);
+    }
+  }
+};
+
+}  // namespace
+
+namespace internal {
+
+IoBackend* UringBackendOrNull() {
+  static IoBackend* backend = []() -> IoBackend* {
+    // Runtime probe: a throwaway ring proves io_uring_setup + mmap work
+    // here (seccomp policies and pre-5.1 kernels fail cleanly).
+    Ring probe;
+    if (!probe.Init(4)) return nullptr;
+    return new UringIoBackend();
+  }();
+  return backend;
+}
+
+}  // namespace internal
+
+}  // namespace payg
+
+#else  // !PAYG_HAS_IO_URING
+
+namespace payg {
+namespace internal {
+IoBackend* UringBackendOrNull() { return nullptr; }
+}  // namespace internal
+}  // namespace payg
+
+#endif

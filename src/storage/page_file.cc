@@ -7,10 +7,12 @@
 #include <cerrno>
 #include <cstring>
 #include <thread>
+#include <vector>
 
 #include "common/stopwatch.h"
 #include "exec/exec_context.h"
 #include "obs/trace.h"
+#include "storage/io_backend.h"
 
 namespace payg {
 
@@ -38,9 +40,20 @@ PageFile::PageFile(std::string path, int fd, uint32_t page_size,
   m_bytes_written_ = reg.counter("storage.write.bytes");
   m_read_latency_us_ = reg.histogram("storage.read.latency_us");
   m_write_latency_us_ = reg.histogram("storage.write.latency_us");
+  m_io_batches_ = reg.counter("io.batches_submitted");
+  m_io_batch_pages_ = reg.histogram("io.batch_pages");
+  m_io_inflight_ = reg.gauge("io.inflight");
+  m_io_completion_latency_us_ = reg.histogram("io.completion_latency_us");
+  m_io_checksum_fail_ = reg.counter("io.checksum_fail");
 }
 
 PageFile::~PageFile() {
+  // ReadPages holds inflight_batches_ for its whole duration; by the time an
+  // owner destroys the file every cache waiter is gone, so this drains in
+  // at most one batch's tail.
+  while (inflight_batches_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
   if (fd_ >= 0) ::close(fd_);
 }
 
@@ -117,21 +130,23 @@ Status PageFile::ReadPage(LogicalPageNo lpn, Page* page,
   // cold-read measurements are about.
   obs::TraceSpan span("io", "page_read", lpn);
   Stopwatch timer;
-  if (opts_.simulated_read_latency_us > 0) {
-    if (opts_.simulated_read_latency_us >= 1000) {
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(opts_.simulated_read_latency_us));
-    } else {
-      // OS sleeps round sub-millisecond waits up to scheduler granularity;
-      // spin for precision.
-      SpinWaitMicros(opts_.simulated_read_latency_us);
-    }
-  }
+  ChargeSimulatedLatency(opts_.simulated_read_latency_us);
   off_t offset = static_cast<off_t>(lpn) * page_size_;
-  ssize_t n = ::pread(fd_, page->raw(), page_size_, offset);
-  if (n != static_cast<ssize_t>(page_size_)) {
-    return Status::IOError(Errno("pread", path_));
+  size_t got = 0;
+  Status s = PreadFull(fd_, page->raw(), page_size_, offset, &got);
+  if (!s.ok()) return s;
+  if (got < page_size_) {
+    return Status::IOError("short read at lpn " + std::to_string(lpn) +
+                           " in " + path_);
   }
+  s = VerifyLoadedPage(lpn, page, ctx);
+  if (!s.ok()) return s;
+  m_read_latency_us_->Record(static_cast<uint64_t>(timer.ElapsedMicros()));
+  return Status::OK();
+}
+
+Status PageFile::VerifyLoadedPage(LogicalPageNo lpn, Page* page,
+                                  ExecContext* ctx) const {
   if (page->header()->magic != PageHeader::kMagic) {
     return Status::Corruption("bad page magic at lpn " + std::to_string(lpn) +
                               " in " + path_);
@@ -141,10 +156,10 @@ Status PageFile::ReadPage(LogicalPageNo lpn, Page* page,
                               std::to_string(lpn) + " in " + path_);
   }
   if (opts_.verify_checksums && !page->VerifyChecksum()) {
+    m_io_checksum_fail_->Inc();
     return Status::Corruption("checksum mismatch at lpn " +
                               std::to_string(lpn) + " in " + path_);
   }
-  m_read_latency_us_->Record(static_cast<uint64_t>(timer.ElapsedMicros()));
   m_pages_read_->Inc();
   m_bytes_read_->Add(page_size_);
   if (stats_ != nullptr) {
@@ -153,6 +168,67 @@ Status PageFile::ReadPage(LogicalPageNo lpn, Page* page,
   }
   CountPageRead(ctx, page_size_);
   return Status::OK();
+}
+
+void PageFile::ReadPages(const LogicalPageNo* lpns, Page* const* pages,
+                         Status* statuses, size_t n, ExecContext* ctx,
+                         const PageIoDoneFn& done) const {
+  if (n == 0) return;
+  // Keep the file alive until every page of this batch is finalized: the
+  // destructor spins on this count (see ~PageFile).
+  inflight_batches_.fetch_add(1, std::memory_order_acq_rel);
+  struct BatchScope {
+    const std::atomic<uint64_t>* c;
+    ~BatchScope() {
+      const_cast<std::atomic<uint64_t>*>(c)->fetch_sub(
+          1, std::memory_order_acq_rel);
+    }
+  } scope{&inflight_batches_};
+
+  obs::TraceSpan span("io", "batch_read", n);
+  m_io_batches_->Inc();
+  m_io_batch_pages_->Record(n);
+  m_io_inflight_->Add(static_cast<int64_t>(n));
+  Stopwatch timer;
+
+  // Screen out-of-range pages up front so the backend only ever sees real
+  // file offsets; they complete (with OutOfRange) immediately.
+  const uint64_t count = page_count_.load(std::memory_order_acquire);
+  std::vector<PageIoRequest> reqs;
+  reqs.reserve(n);
+  std::vector<size_t> orig;  // backend index -> caller index
+  orig.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    PAYG_ASSERT(pages[i]->size() == page_size_);
+    if (lpns[i] >= count) {
+      statuses[i] = Status::OutOfRange("page " + std::to_string(lpns[i]) +
+                                       " beyond end of chain " + path_);
+      m_io_inflight_->Add(-1);
+      if (done) done(i);
+      continue;
+    }
+    PageIoRequest req;
+    req.lpn = lpns[i];
+    req.buf = pages[i]->raw();
+    reqs.push_back(std::move(req));
+    orig.push_back(i);
+  }
+  if (reqs.empty()) return;
+
+  // The backend moves bytes; verification and accounting happen here, per
+  // page, before the caller's completion hook sees it.
+  auto finalize = [&](size_t j) {
+    const size_t i = orig[j];
+    Status st = std::move(reqs[j].status);
+    if (st.ok()) st = VerifyLoadedPage(lpns[i], pages[i], ctx);
+    statuses[i] = std::move(st);
+    m_io_completion_latency_us_->Record(
+        static_cast<uint64_t>(timer.ElapsedMicros()));
+    m_io_inflight_->Add(-1);
+    if (done) done(i);
+  };
+  CurrentIoBackend()->ReadBatch(fd_, page_size_, reqs.data(), reqs.size(),
+                                opts_.simulated_read_latency_us, finalize);
 }
 
 Status PageFile::Sync() {

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "storage/io_backend.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
 #include "storage/storage_options.h"
@@ -57,6 +58,19 @@ class PageFile {
   Status ReadPage(LogicalPageNo lpn, Page* page,
                   ExecContext* ctx = nullptr) const;
 
+  // Batched read: the n pages named by `lpns` are read through the current
+  // IoBackend as one submission (contiguous runs become vectored reads) and
+  // each page's final status lands in `statuses[i]`. `done(i)` — when given
+  // — fires on the calling thread as page i completes, after verification,
+  // with statuses[i] final; this is the completion-driven publish hook the
+  // page cache uses, so a page becomes visible when its bytes land rather
+  // than when the slowest page of the batch does. Blocking: by return every
+  // page has exactly one final status and one done() call. A bad page
+  // (out of range, short read, corruption) fails only itself.
+  void ReadPages(const LogicalPageNo* lpns, Page* const* pages,
+                 Status* statuses, size_t n, ExecContext* ctx = nullptr,
+                 const PageIoDoneFn& done = nullptr) const;
+
   // Number of pages currently in the chain.
   uint64_t page_count() const { return page_count_; }
 
@@ -70,12 +84,23 @@ class PageFile {
   PageFile(std::string path, int fd, uint32_t page_size, uint64_t page_count,
            const StorageOptions& opts, IoStats* stats);
 
+  // Shared verification + accounting tail of both read paths: magic, page
+  // number, checksum (counting "io.checksum_fail"), then the read counters.
+  Status VerifyLoadedPage(LogicalPageNo lpn, Page* page,
+                          ExecContext* ctx) const;
+
   std::string path_;
   int fd_;
   uint32_t page_size_;
   std::atomic<uint64_t> page_count_;
   StorageOptions opts_;
   IoStats* stats_;  // not owned; may be null
+
+  // Batched reads in flight. The destructor spins until this drains so a
+  // ReadPages still finalizing pages never touches a dead PageFile — owners
+  // destroy the cache (which drains its own waiters) before the file, and
+  // this closes the last window in between.
+  mutable std::atomic<uint64_t> inflight_batches_{0};
 
   // Process-wide mirrors of the IoStats bumps plus the physical-IO latency
   // histograms ("storage.read.latency_us" / "storage.write.latency_us").
@@ -86,6 +111,15 @@ class PageFile {
   obs::Counter* m_bytes_written_;
   obs::Histogram* m_read_latency_us_;
   obs::Histogram* m_write_latency_us_;
+
+  // Batched-I/O observability ("io.*"): submissions, batch size
+  // distribution, pages currently in flight, per-page completion latency
+  // (submit -> verified), checksum failures.
+  obs::Counter* m_io_batches_;
+  obs::Histogram* m_io_batch_pages_;
+  obs::Gauge* m_io_inflight_;
+  obs::Histogram* m_io_completion_latency_us_;
+  obs::Counter* m_io_checksum_fail_;
 };
 
 }  // namespace payg

@@ -4,7 +4,24 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/env.h"
+
 namespace payg {
+
+namespace {
+
+// PAYG_VERIFY_CHECKSUMS: tri-state override of StorageOptions::
+// verify_checksums (which defaults to on). "0" disables read-path checksum
+// verification, "1" forces it on, unset/other leaves the caller's options
+// untouched.
+void ApplyChecksumEnvOverride(StorageOptions* opts) {
+  const char* raw = EnvRaw("PAYG_VERIFY_CHECKSUMS");
+  if (raw == nullptr || raw[0] == '\0') return;
+  if (raw[0] == '0') opts->verify_checksums = false;
+  if (raw[0] == '1') opts->verify_checksums = true;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<StorageManager>> StorageManager::Open(
     const std::string& directory, const StorageOptions& opts) {
@@ -14,7 +31,10 @@ Result<std::unique_ptr<StorageManager>> StorageManager::Open(
     return Status::IOError("create_directories " + directory + ": " +
                            ec.message());
   }
-  return std::unique_ptr<StorageManager>(new StorageManager(directory, opts));
+  StorageOptions effective = opts;
+  ApplyChecksumEnvOverride(&effective);
+  return std::unique_ptr<StorageManager>(
+      new StorageManager(directory, effective));
 }
 
 std::string StorageManager::PathFor(const std::string& name) const {

@@ -1133,6 +1133,57 @@ TEST_F(PagedTest, UntouchedPrefetchCountsAsWastedOnDrop) {
                 cache->prefetch_inflight_count());
 }
 
+TEST_F(PagedTest, PrefetchRangeBatchesDedupAndReconcile) {
+  auto vids = RandomVids(100000, 500, 75);
+  auto dv = PagedDataVector::Build(storage_.get(), rm_.get(),
+                                   PoolId::kPagedPool, "ra5", vids);
+  ASSERT_TRUE(dv.ok());
+  ASSERT_GT((*dv)->data_page_count(), 6u);
+  PageCache* cache = (*dv)->cache();
+
+  // One batched submission covering pages 1..4 of the chain.
+  ExecContext ctx;
+  cache->PrefetchRange(1, 4, &ctx);
+  EXPECT_EQ(cache->prefetch_issued_count(), 4u);
+  EXPECT_EQ(ctx.stats.io_batches.load(), 1u);
+  cache->WaitForPrefetchIdle();
+  for (LogicalPageNo lpn = 1; lpn <= 4; ++lpn) {
+    EXPECT_TRUE(cache->IsLoaded(lpn)) << "lpn " << lpn;
+  }
+
+  // Overlapping range: resident pages drop out, only 5 and 6 are issued.
+  cache->PrefetchRange(1, 6, &ctx);
+  cache->WaitForPrefetchIdle();
+  EXPECT_EQ(cache->prefetch_issued_count(), 6u);
+  EXPECT_EQ(ctx.stats.io_batches.load(), 2u);
+
+  // Fully-covered range: nothing left to issue, no batch submitted.
+  cache->PrefetchRange(2, 3, &ctx);
+  EXPECT_EQ(cache->prefetch_issued_count(), 6u);
+  EXPECT_EQ(ctx.stats.io_batches.load(), 2u);
+
+  // A range reaching past the end of the chain is clamped to page_count.
+  const LogicalPageNo last = cache->file()->page_count() - 1;
+  cache->PrefetchRange(last, 1000, &ctx);
+  cache->WaitForPrefetchIdle();
+  EXPECT_EQ(cache->prefetch_issued_count(), 7u);
+
+  // Batched prefetches count as prefetch hits on first touch like any
+  // other prefetch; once every issued page is touched the accounting
+  // invariant issued == hits + wasted + inflight reconciles exactly.
+  for (LogicalPageNo lpn : {LogicalPageNo{1}, LogicalPageNo{2},
+                            LogicalPageNo{3}, LogicalPageNo{4},
+                            LogicalPageNo{5}, LogicalPageNo{6}, last}) {
+    auto ref = cache->GetPage(lpn);
+    ASSERT_TRUE(ref.ok()) << "lpn " << lpn;
+    ref->Release();
+  }
+  EXPECT_EQ(cache->prefetch_hit_count(), 7u);
+  EXPECT_EQ(cache->prefetch_issued_count(),
+            cache->prefetch_hit_count() + cache->prefetch_wasted_count() +
+                cache->prefetch_inflight_count());
+}
+
 TEST_F(PagedTest, IndexIteratorPrefetchesAcrossPostingPages) {
   // One vid dominating the column makes its postinglist span several pages.
   std::vector<ValueId> vids(120000, 3);

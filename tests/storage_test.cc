@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
 
 #include "common/random.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 #include "storage/byte_stream.h"
+#include "storage/io_backend.h"
 #include "storage/page.h"
 #include "storage/page_file.h"
 #include "storage/storage_manager.h"
@@ -263,6 +267,221 @@ TEST_F(StorageTest, NonCriticalChainsMatchDiskWhenScmDisabled) {
   ASSERT_TRUE((*chain)->ReadPage(0, &p).ok());
   EXPECT_GE(timer.ElapsedMillis(), 1.5);
 }
+
+// Remaining EINTR injections; the hook is consulted before every read
+// syscall on any backend, so a positive budget interrupts the next calls.
+std::atomic<int> g_eintr_budget{0};
+int EintrHook() { return g_eintr_budget.fetch_sub(1) > 0 ? EINTR : 0; }
+
+// One-shot EIO injection.
+std::atomic<int> g_eio_budget{0};
+int EioHook() { return g_eio_budget.fetch_sub(1) > 0 ? EIO : 0; }
+
+// Runs every batched-I/O test under both backends. The uring leg skips
+// (not fails) on kernels without io_uring, which is what lets CI pin
+// PAYG_IO_BACKEND=uring on hosts that may lack it.
+class IoBackendTest : public StorageTest,
+                      public ::testing::WithParamInterface<const char*> {
+ protected:
+  void SetUp() override {
+    StorageTest::SetUp();
+    if (std::strcmp(GetParam(), "uring") == 0 && !IoUringAvailable()) {
+      GTEST_SKIP() << "io_uring unavailable on this kernel";
+    }
+    saved_backend_ = CurrentIoBackend()->name();
+    ASSERT_TRUE(SetIoBackend(GetParam()).ok());
+  }
+
+  void TearDown() override {
+    SetIoFaultHookForTest(nullptr);
+    g_eintr_budget.store(0);
+    g_eio_budget.store(0);
+    if (saved_backend_ != nullptr) {
+      ASSERT_TRUE(SetIoBackend(saved_backend_).ok());
+    }
+    StorageTest::TearDown();
+  }
+
+  // Move-only Page has no fill constructor.
+  static std::vector<Page> MakePages(size_t n) {
+    std::vector<Page> v;
+    v.reserve(n);
+    for (size_t i = 0; i < n; ++i) v.emplace_back(4096);
+    return v;
+  }
+
+  // Appends `n` pages whose payload identifies their lpn.
+  std::unique_ptr<PageFile> MakeChain(const std::string& name, int n) {
+    auto file = storage_->CreateChain(name, 4096);
+    EXPECT_TRUE(file.ok());
+    for (int i = 0; i < n; ++i) {
+      Page p(4096);
+      std::string content = "batch page " + std::to_string(i);
+      std::memcpy(p.payload(), content.data(), content.size());
+      p.set_payload_size(static_cast<uint32_t>(content.size()));
+      EXPECT_TRUE((*file)->AppendPage(&p).ok());
+    }
+    return std::move(*file);
+  }
+
+  const char* saved_backend_ = nullptr;
+};
+
+TEST_P(IoBackendTest, BatchRoundtripCallsDoneOncePerPage) {
+  auto file = MakeChain("batch", 16);
+  auto* batches = obs::MetricsRegistry::Global().counter("io.batches_submitted");
+  const uint64_t batches_before = batches->value();
+
+  // Mixed contiguous + scattered lpns: exercises run coalescing and the
+  // multi-run submission path.
+  std::vector<LogicalPageNo> lpns = {0, 1, 2, 3, 8, 9, 12, 5};
+  const size_t n = lpns.size();
+  std::vector<Page> pages = MakePages(n);
+  std::vector<Page*> raw(n);
+  for (size_t i = 0; i < n; ++i) raw[i] = &pages[i];
+  std::vector<Status> sts(n);
+  std::vector<int> done_calls(n, 0);
+  file->ReadPages(lpns.data(), raw.data(), sts.data(), n, nullptr,
+                  [&](size_t i) {
+                    // The status must be final when the hook fires.
+                    EXPECT_TRUE(sts[i].ok()) << sts[i].ToString();
+                    ++done_calls[i];
+                  });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(sts[i].ok()) << "page " << lpns[i] << ": " << sts[i].ToString();
+    EXPECT_EQ(done_calls[i], 1) << "page " << lpns[i];
+    std::string expect = "batch page " + std::to_string(lpns[i]);
+    EXPECT_EQ(std::string(reinterpret_cast<char*>(pages[i].payload()),
+                          pages[i].payload_size()),
+              expect);
+  }
+  EXPECT_EQ(batches->value(), batches_before + 1);
+}
+
+TEST_P(IoBackendTest, OutOfRangePageFailsAlone) {
+  auto file = MakeChain("oorange", 4);
+  std::vector<LogicalPageNo> lpns = {0, 99, 2};
+  std::vector<Page> pages = MakePages(3);
+  std::vector<Page*> raw = {&pages[0], &pages[1], &pages[2]};
+  std::vector<Status> sts(3);
+  file->ReadPages(lpns.data(), raw.data(), sts.data(), 3);
+  EXPECT_TRUE(sts[0].ok()) << sts[0].ToString();
+  EXPECT_TRUE(sts[1].IsOutOfRange()) << sts[1].ToString();
+  EXPECT_TRUE(sts[2].ok()) << sts[2].ToString();
+}
+
+TEST_P(IoBackendTest, ShortReadMidBatchFailsOnlyTruncatedPages) {
+  auto file = MakeChain("trunc", 8);
+  // Chop the last two pages off the file underneath the open fd: the
+  // page_count_ the reader believes in still says 8.
+  std::filesystem::resize_file(dir_ + "/trunc", 6 * 4096);
+
+  std::vector<LogicalPageNo> lpns = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<Page> pages = MakePages(8);
+  std::vector<Page*> raw(8);
+  for (size_t i = 0; i < 8; ++i) raw[i] = &pages[i];
+  std::vector<Status> sts(8);
+  file->ReadPages(lpns.data(), raw.data(), sts.data(), 8);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(sts[i].ok()) << "page " << i << ": " << sts[i].ToString();
+  }
+  for (size_t i = 6; i < 8; ++i) {
+    EXPECT_TRUE(sts[i].IsIOError()) << "page " << i << ": " << sts[i].ToString();
+  }
+  // Restore the file so TearDown's temp-dir sweep has nothing odd to see.
+}
+
+TEST_P(IoBackendTest, EintrIsRetriedToCompletion) {
+  auto file = MakeChain("eintr", 6);
+  g_eintr_budget.store(3);
+  SetIoFaultHookForTest(&EintrHook);
+  std::vector<LogicalPageNo> lpns = {0, 1, 2, 3, 4, 5};
+  std::vector<Page> pages = MakePages(6);
+  std::vector<Page*> raw(6);
+  for (size_t i = 0; i < 6; ++i) raw[i] = &pages[i];
+  std::vector<Status> sts(6);
+  file->ReadPages(lpns.data(), raw.data(), sts.data(), 6);
+  SetIoFaultHookForTest(nullptr);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(sts[i].ok()) << "page " << i << ": " << sts[i].ToString();
+  }
+  // The single-page path retries through the same hook.
+  g_eintr_budget.store(2);
+  SetIoFaultHookForTest(&EintrHook);
+  Page p(4096);
+  EXPECT_TRUE(file->ReadPage(3, &p).ok());
+  SetIoFaultHookForTest(nullptr);
+}
+
+TEST_P(IoBackendTest, HardFaultLeavesNoPageWithoutStatus) {
+  auto file = MakeChain("eio", 8);
+  g_eio_budget.store(1);
+  SetIoFaultHookForTest(&EioHook);
+  // Scattered pages: several independent runs, so a mid-batch device error
+  // can only take down the run(s) it actually hit.
+  std::vector<LogicalPageNo> lpns = {0, 2, 4, 6};
+  std::vector<Page> pages = MakePages(4);
+  std::vector<Page*> raw(4);
+  for (size_t i = 0; i < 4; ++i) raw[i] = &pages[i];
+  std::vector<Status> sts(4);
+  std::vector<int> done_calls(4, 0);
+  file->ReadPages(lpns.data(), raw.data(), sts.data(), 4, nullptr,
+                  [&](size_t i) { ++done_calls[i]; });
+  SetIoFaultHookForTest(nullptr);
+  size_t failed = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(done_calls[i], 1) << "page " << lpns[i];
+    if (!sts[i].ok()) {
+      EXPECT_TRUE(sts[i].IsIOError()) << sts[i].ToString();
+      ++failed;
+    }
+  }
+  EXPECT_GE(failed, 1u);
+  // The backend recovers: the same batch succeeds once the fault clears.
+  std::vector<Status> sts2(4);
+  file->ReadPages(lpns.data(), raw.data(), sts2.data(), 4);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(sts2[i].ok()) << "page " << lpns[i] << ": " << sts2[i].ToString();
+  }
+}
+
+TEST_P(IoBackendTest, ChecksumFailureIsCountedAndIsolated) {
+  auto file = MakeChain("cksum", 6);
+  file.reset();
+  {
+    // Flip a payload byte of page 3 directly in the file.
+    std::string path = dir_ + "/cksum";
+    FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 3 * 4096 + 64 + 2, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_EQ(std::fseek(f, 3 * 4096 + 64 + 2, SEEK_SET), 0);
+    std::fputc(c ^ 0xFF, f);
+    std::fclose(f);
+  }
+  auto reopened = storage_->OpenChain("cksum", 4096);
+  ASSERT_TRUE(reopened.ok());
+  auto* fails = obs::MetricsRegistry::Global().counter("io.checksum_fail");
+  const uint64_t fails_before = fails->value();
+
+  std::vector<LogicalPageNo> lpns = {0, 1, 2, 3, 4, 5};
+  std::vector<Page> pages = MakePages(6);
+  std::vector<Page*> raw(6);
+  for (size_t i = 0; i < 6; ++i) raw[i] = &pages[i];
+  std::vector<Status> sts(6);
+  (*reopened)->ReadPages(lpns.data(), raw.data(), sts.data(), 6);
+  for (size_t i = 0; i < 6; ++i) {
+    if (i == 3) {
+      EXPECT_TRUE(sts[i].IsCorruption()) << sts[i].ToString();
+    } else {
+      EXPECT_TRUE(sts[i].ok()) << "page " << i << ": " << sts[i].ToString();
+    }
+  }
+  EXPECT_EQ(fails->value(), fails_before + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, IoBackendTest,
+                         ::testing::Values("sync", "uring"));
 
 TEST_F(StorageTest, SimulatedLatencySlowsReads) {
   StorageOptions opts;
