@@ -96,6 +96,7 @@ class SyncIoBackend final : public IoBackend {
     }
     const off_t offset = static_cast<off_t>(reqs[0].lpn) * page_size;
     const size_t want = run * static_cast<size_t>(page_size);
+    size_t nvec = run;  // live iovecs; shrinks as partial reads are re-aimed
     *got = 0;
     for (int attempt = 0; attempt < kMaxEintrRetries; ++attempt) {
       int fault = InjectedFault();
@@ -105,7 +106,7 @@ class SyncIoBackend final : public IoBackend {
         errno = fault;
         r = -1;
       } else {
-        r = ::preadv(fd, iov, static_cast<int>(run), offset + *got);
+        r = ::preadv(fd, iov, static_cast<int>(nvec), offset + *got);
       }
       if (r < 0) {
         if (errno == EINTR) continue;
@@ -126,10 +127,7 @@ class SyncIoBackend final : public IoBackend {
         skip = 0;
         ++nv;
       }
-      // Degenerate but safe: loop again with the trimmed vector. The offset
-      // math folds the consumed prefix into `offset + *got` only for the
-      // first iovec, so rebuild from scratch each attempt.
-      for (size_t k = nv; k < run; ++k) iov[k].iov_len = 0;
+      nvec = nv;  // rebuilt from scratch each attempt, from reqs + *got
     }
     return Status::IOError("preadv: persistent EINTR");
   }

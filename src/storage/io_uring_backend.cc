@@ -35,6 +35,9 @@ namespace {
 // overlap the queue depth governs, not one mega-command.
 constexpr size_t kMaxPagesPerSqe = 4;
 constexpr int kMaxRunRetries = 8;
+// Same bound the sync backend applies to EINTR storms and partial-read
+// resubmission (io_backend.cc kMaxEintrRetries).
+constexpr int kMaxEintrRetries = 100;
 
 int SysIoUringSetup(unsigned entries, io_uring_params* p) {
   return static_cast<int>(syscall(__NR_io_uring_setup, entries, p));
@@ -155,11 +158,18 @@ Ring* ThreadRing() {
   return &ring;
 }
 
-// A contiguous span of requests served by one SQE.
+// A contiguous span of requests served by one SQE. A run may be submitted
+// several times: transient errors (EINTR/EAGAIN) resubmit it whole, short
+// positive completions resubmit the unread remainder (`got` bytes already
+// landed, `nvec` iovecs re-aimed past them) — the same recovery the sync
+// backend's ReadRun loop performs.
 struct Run {
-  size_t first = 0;  // index into the request array
+  size_t first = 0;   // index into the request array
   size_t npages = 0;
-  int retries = 0;
+  size_t got = 0;     // bytes landed so far, across resubmissions
+  unsigned nvec = 0;  // live iovecs for the next submission
+  int retries = 0;    // transient-error resubmissions
+  int short_retries = 0;
 };
 
 class UringIoBackend final : public IoBackend {
@@ -191,7 +201,7 @@ class UringIoBackend final : public IoBackend {
         iov[i + k].iov_base = reqs[i + k].buf;
         iov[i + k].iov_len = page_size;
       }
-      runs.push_back(Run{i, len, 0});
+      runs.push_back(Run{i, len, 0, static_cast<unsigned>(len), 0, 0});
       i += len;
     }
 
@@ -199,37 +209,51 @@ class UringIoBackend final : public IoBackend {
     std::deque<size_t> pending;  // run indexes not yet submitted
     for (size_t r = 0; r < runs.size(); ++r) pending.push_back(r);
     std::vector<char> finalized(runs.size(), 0);
-    size_t inflight = 0;
+    // SQEs the kernel has consumed and not yet completed. While this is
+    // non-zero the kernel may write into the caller's page buffers at any
+    // moment, so no path may return to the caller without draining it.
+    size_t kernel_inflight = 0;
     size_t completed_pages = 0;
 
     while (completed_pages < n) {
       // Fill the submission queue up to the configured depth.
       unsigned to_submit = 0;
-      while (!pending.empty() && inflight < depth) {
+      while (!pending.empty() && kernel_inflight + to_submit < depth) {
         const size_t r = pending.front();
         pending.pop_front();
         const Run& run = runs[r];
         const uint64_t off =
-            static_cast<uint64_t>(reqs[run.first].lpn) * page_size;
+            static_cast<uint64_t>(reqs[run.first].lpn) * page_size +
+            run.got;
         PushSqe(ring, fd, run, &iov[run.first], off, r);
-        ++inflight;
         ++to_submit;
       }
       // One simulated device round trip covers everything submitted in
       // this wave — the queue-depth-aware cost model: a wave of `depth`
       // commands costs what one command costs.
       if (to_submit > 0) ChargeSimulatedLatency(simulated_latency_us);
-      if (!Submit(ring, to_submit)) {
-        FailUnfinished(reqs, runs, &finalized, &completed_pages, done,
-                       std::string("io_uring_enter: ") +
-                           std::strerror(errno));
+      unsigned consumed = 0;
+      const bool submitted = Submit(ring, to_submit, &consumed);
+      kernel_inflight += consumed;
+      if (!submitted) {
+        AbortBatch(ring, reqs, page_size, &runs, &finalized,
+                   &kernel_inflight, &completed_pages, done,
+                   std::string("io_uring_enter: ") + std::strerror(errno));
         return;
       }
-      if (inflight == 0) continue;
-      if (!WaitForCompletion(ring)) {
+      if (kernel_inflight == 0) {
+        if (!pending.empty()) continue;  // next wave picks them up
+        // Unreachable by construction (every run is finalized, pending, or
+        // in the kernel), but never return a page without a final status.
         FailUnfinished(reqs, runs, &finalized, &completed_pages, done,
-                       std::string("io_uring_enter(wait): ") +
-                           std::strerror(errno));
+                       "io_uring batch: internal accounting error");
+        return;
+      }
+      if (!WaitForCompletion(ring)) {
+        AbortBatch(ring, reqs, page_size, &runs, &finalized,
+                   &kernel_inflight, &completed_pages, done,
+                   std::string("io_uring_enter(wait): ") +
+                       std::strerror(errno));
         return;
       }
       // Reap every available completion, publishing page by page.
@@ -239,12 +263,13 @@ class UringIoBackend final : public IoBackend {
         const io_uring_cqe& cqe = ring->cqes[head & *ring->cq_mask];
         const size_t r = static_cast<size_t>(cqe.user_data);
         Run& run = runs[r];
-        --inflight;
+        --kernel_inflight;
+        const size_t want = run.npages * static_cast<size_t>(page_size);
         if (cqe.res == -EINTR || cqe.res == -EAGAIN) {
           if (++run.retries <= kMaxRunRetries) {
-            pending.push_back(r);  // transient: resubmit the whole run
+            pending.push_back(r);  // transient: resubmit as-is
           } else {
-            FinishRun(reqs, page_size, run, 0,
+            FinishRun(reqs, page_size, run, run.got,
                       Status::IOError(
                           std::string("io_uring read: persistent ") +
                           std::strerror(-cqe.res)),
@@ -252,14 +277,31 @@ class UringIoBackend final : public IoBackend {
             finalized[r] = 1;
           }
         } else if (cqe.res < 0) {
-          FinishRun(reqs, page_size, run, 0,
+          FinishRun(reqs, page_size, run, run.got,
                     Status::IOError(std::string("io_uring read: ") +
                                     std::strerror(-cqe.res)),
                     &completed_pages, done);
           finalized[r] = 1;
+        } else if (cqe.res == 0 || run.got + static_cast<size_t>(cqe.res) >=
+                                       want) {
+          // EOF, or the run is complete. Pages past `got` (EOF case) get a
+          // short-read status from FinishRun.
+          run.got += static_cast<size_t>(cqe.res);
+          FinishRun(reqs, page_size, run, run.got, Status::OK(),
+                    &completed_pages, done);
+          finalized[r] = 1;
+        } else if (++run.short_retries <= kMaxEintrRetries) {
+          // Mid-file partial transfer: re-aim the iovecs past the bytes we
+          // have and resubmit the remainder, exactly like the sync
+          // backend's ReadRun loop.
+          run.got += static_cast<size_t>(cqe.res);
+          RebuildIov(reqs, page_size, &run, &iov[run.first]);
+          pending.push_back(r);
         } else {
-          FinishRun(reqs, page_size, run, static_cast<size_t>(cqe.res),
-                    Status::OK(), &completed_pages, done);
+          run.got += static_cast<size_t>(cqe.res);
+          FinishRun(reqs, page_size, run, run.got,
+                    Status::IOError("io_uring read: persistent short read"),
+                    &completed_pages, done);
           finalized[r] = 1;
         }
         ++head;
@@ -278,16 +320,39 @@ class UringIoBackend final : public IoBackend {
     s->opcode = IORING_OP_READV;
     s->fd = fd;
     s->addr = reinterpret_cast<uint64_t>(iov);
-    s->len = static_cast<uint32_t>(run.npages);
+    s->len = run.nvec;
     s->off = offset;
     s->user_data = run_index;
     ring->sq_array[idx] = idx;
     __atomic_store_n(ring->sq_tail, tail + 1, __ATOMIC_RELEASE);
   }
 
-  // Submits `to_submit` SQEs (no wait). Retries EINTR/EAGAIN; returns
-  // false on a hard failure (errno preserved).
-  static bool Submit(Ring* ring, unsigned to_submit) {
+  // Re-aims a run's iovecs past the `run->got` bytes already landed,
+  // compacting the remainder into the front of the run's iov slots.
+  static void RebuildIov(PageIoRequest* reqs, uint32_t page_size, Run* run,
+                         iovec* iov) {
+    size_t skip = run->got;
+    unsigned nv = 0;
+    for (size_t k = 0; k < run->npages; ++k) {
+      if (skip >= page_size) {
+        skip -= page_size;
+        continue;
+      }
+      iov[nv].iov_base = reqs[run->first + k].buf + skip;
+      iov[nv].iov_len = page_size - skip;
+      skip = 0;
+      ++nv;
+    }
+    run->nvec = nv;
+  }
+
+  // Submits `to_submit` SQEs (no wait). Retries EINTR/EAGAIN up to
+  // kMaxEintrRetries; returns false on a hard failure or when the cap is
+  // exceeded (errno preserved). `*consumed` is the count the kernel
+  // actually took — those SQEs are in flight even when this returns false.
+  static bool Submit(Ring* ring, unsigned to_submit, unsigned* consumed) {
+    *consumed = 0;
+    int transient = 0;
     while (to_submit > 0) {
       const int fault = internal::ConsumeInjectedFault();
       internal::CountReadSyscall();
@@ -299,16 +364,22 @@ class UringIoBackend final : public IoBackend {
         r = SysIoUringEnter(ring->fd, to_submit, 0, 0);
       }
       if (r < 0) {
-        if (errno == EINTR || errno == EAGAIN) continue;
+        if ((errno == EINTR || errno == EAGAIN) &&
+            ++transient <= kMaxEintrRetries) {
+          continue;
+        }
         return false;
       }
       to_submit -= static_cast<unsigned>(r);
+      *consumed += static_cast<unsigned>(r);
     }
     return true;
   }
 
-  // Blocks until at least one completion is reapable. Retries EINTR.
+  // Blocks until at least one completion is reapable. Retries EINTR/EAGAIN
+  // up to kMaxEintrRetries, then fails (errno preserved).
   static bool WaitForCompletion(Ring* ring) {
+    int transient = 0;
     for (;;) {
       const unsigned head = __atomic_load_n(ring->cq_head, __ATOMIC_ACQUIRE);
       const unsigned tail = __atomic_load_n(ring->cq_tail, __ATOMIC_ACQUIRE);
@@ -322,8 +393,82 @@ class UringIoBackend final : public IoBackend {
       } else {
         r = SysIoUringEnter(ring->fd, 0, 1, IORING_ENTER_GETEVENTS);
       }
-      if (r < 0 && errno != EINTR && errno != EAGAIN) return false;
+      if (r < 0) {
+        if (errno != EINTR && errno != EAGAIN) return false;
+        if (++transient > kMaxEintrRetries) return false;
+      }
     }
+  }
+
+  // Hard-failure teardown. Two hazards if we just returned: (a) the kernel
+  // still owns up to `*kernel_inflight` READV SQEs aimed at the caller's
+  // buffers — returning lets the caller free them and the async completion
+  // scribbles freed heap; (b) SQEs pushed onto the SQ ring but never
+  // consumed by the kernel would be submitted by the NEXT batch on this
+  // thread, pointing at this batch's dead iovecs. So: rewind our tail to
+  // the kernel's head (discarding unconsumed SQEs), then reap until
+  // nothing is in flight — completions drained here are finalized with
+  // their real results — and only then fail whatever never completed. If
+  // the drain itself cannot finish, tear the ring down so nothing stale
+  // can ever reach a later batch.
+  static void AbortBatch(Ring* ring, PageIoRequest* reqs, uint32_t page_size,
+                         std::vector<Run>* runs, std::vector<char>* finalized,
+                         size_t* kernel_inflight, size_t* completed_pages,
+                         const PageIoDoneFn& done, const std::string& msg) {
+    const unsigned kernel_head =
+        __atomic_load_n(ring->sq_head, __ATOMIC_ACQUIRE);
+    __atomic_store_n(ring->sq_tail, kernel_head, __ATOMIC_RELEASE);
+    if (!DrainInflight(ring, reqs, page_size, runs, finalized,
+                       kernel_inflight, completed_pages, done)) {
+      ring->Teardown();  // next batch on this thread re-inits from scratch
+    }
+    FailUnfinished(reqs, *runs, finalized, completed_pages, done, msg);
+  }
+
+  // Reaps until every kernel-held SQE has completed, finalizing each run
+  // with the result its completion carried (no resubmission — the batch is
+  // aborting). Deliberately bypasses the fault hook: this is the cleanup
+  // path, and bailing out early would hand the kernel freed buffers.
+  // Returns false only if io_uring_enter fails hard or the retry cap is
+  // exhausted with SQEs still in flight.
+  static bool DrainInflight(Ring* ring, PageIoRequest* reqs,
+                            uint32_t page_size, std::vector<Run>* runs,
+                            std::vector<char>* finalized,
+                            size_t* kernel_inflight, size_t* completed_pages,
+                            const PageIoDoneFn& done) {
+    int transient = 0;
+    while (*kernel_inflight > 0) {
+      unsigned head = __atomic_load_n(ring->cq_head, __ATOMIC_ACQUIRE);
+      const unsigned tail = __atomic_load_n(ring->cq_tail, __ATOMIC_ACQUIRE);
+      while (head != tail && *kernel_inflight > 0) {
+        const io_uring_cqe& cqe = ring->cqes[head & *ring->cq_mask];
+        const size_t r = static_cast<size_t>(cqe.user_data);
+        Run& run = (*runs)[r];
+        --*kernel_inflight;
+        if (cqe.res >= 0) {
+          run.got += static_cast<size_t>(cqe.res);
+          FinishRun(reqs, page_size, run, run.got, Status::OK(),
+                    completed_pages, done);
+        } else {
+          FinishRun(reqs, page_size, run, run.got,
+                    Status::IOError(std::string("io_uring read: ") +
+                                    std::strerror(-cqe.res)),
+                    completed_pages, done);
+        }
+        (*finalized)[r] = 1;
+        ++head;
+        __atomic_store_n(ring->cq_head, head, __ATOMIC_RELEASE);
+      }
+      if (*kernel_inflight == 0) break;
+      internal::CountReadSyscall();
+      const int r =
+          SysIoUringEnter(ring->fd, 0, 1, IORING_ENTER_GETEVENTS);
+      if (r < 0) {
+        if (errno != EINTR && errno != EAGAIN) return false;
+        if (++transient > kMaxEintrRetries) return false;
+      }
+    }
+    return true;
   }
 
   // Finalizes every page of one run from its completed byte count: pages

@@ -480,6 +480,89 @@ TEST_P(IoBackendTest, ChecksumFailureIsCountedAndIsolated) {
   EXPECT_EQ(fails->value(), fails_before + 1);
 }
 
+// Faults every read syscall from the second one onward: the first
+// submission succeeds, so on the uring backend the hard failure strikes
+// while SQEs are still in the kernel.
+std::atomic<int> g_fault_call{0};
+int SecondCallOnwardEioHook() {
+  return g_fault_call.fetch_add(1) >= 1 ? EIO : 0;
+}
+
+TEST_P(IoBackendTest, HardFaultWithInflightIsDrainedAndIsolated) {
+  auto file = MakeChain("drain", 16);
+  const uint32_t saved_depth = IoQueueDepth();
+  // 16 contiguous pages are 4 SQE-capped runs on uring; depth 2 forces at
+  // least two submission waves, so the fault is guaranteed to strike a
+  // batch with completed and in-flight runs on the ring. The backend must
+  // reap the kernel-held SQEs before ReadPages returns — under ASan the
+  // alternative is a completion landing in freed page buffers.
+  SetIoQueueDepth(2);
+  g_fault_call.store(0);
+  SetIoFaultHookForTest(&SecondCallOnwardEioHook);
+  const size_t n = 16;
+  std::vector<LogicalPageNo> lpns(n);
+  for (size_t i = 0; i < n; ++i) lpns[i] = static_cast<LogicalPageNo>(i);
+  std::vector<Page> pages = MakePages(n);
+  std::vector<Page*> raw(n);
+  for (size_t i = 0; i < n; ++i) raw[i] = &pages[i];
+  std::vector<Status> sts(n);
+  std::vector<int> done_calls(n, 0);
+  file->ReadPages(lpns.data(), raw.data(), sts.data(), n, nullptr,
+                  [&](size_t i) { ++done_calls[i]; });
+  SetIoFaultHookForTest(nullptr);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(done_calls[i], 1) << "page " << i;
+    if (sts[i].ok()) {
+      // Pages drained as complete during the abort carry real data.
+      std::string expect = "batch page " + std::to_string(i);
+      EXPECT_EQ(std::string(reinterpret_cast<char*>(pages[i].payload()),
+                            pages[i].payload_size()),
+                expect);
+    } else {
+      EXPECT_TRUE(sts[i].IsIOError()) << "page " << i << ": "
+                                      << sts[i].ToString();
+    }
+  }
+  // Nothing stale survives the abort: the aborted batch's unsubmitted
+  // SQEs must not be submitted by (or its leftover completions reaped
+  // into) this next batch.
+  std::vector<Status> sts2(n);
+  file->ReadPages(lpns.data(), raw.data(), sts2.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(sts2[i].ok()) << "page " << i << ": " << sts2[i].ToString();
+    std::string expect = "batch page " + std::to_string(i);
+    EXPECT_EQ(std::string(reinterpret_cast<char*>(pages[i].payload()),
+                          pages[i].payload_size()),
+              expect);
+  }
+  SetIoQueueDepth(saved_depth);
+}
+
+int AlwaysEintrHook() { return EINTR; }
+
+TEST_P(IoBackendTest, PersistentEintrFailsInsteadOfSpinning) {
+  auto file = MakeChain("spin", 4);
+  SetIoFaultHookForTest(&AlwaysEintrHook);
+  std::vector<LogicalPageNo> lpns = {0, 1, 2, 3};
+  std::vector<Page> pages = MakePages(4);
+  std::vector<Page*> raw(4);
+  for (size_t i = 0; i < 4; ++i) raw[i] = &pages[i];
+  std::vector<Status> sts(4);
+  // Both backends cap transient retries; an EINTR storm that never ends
+  // must surface as per-page errors, not an infinite syscall loop.
+  file->ReadPages(lpns.data(), raw.data(), sts.data(), 4);
+  SetIoFaultHookForTest(nullptr);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(sts[i].IsIOError()) << "page " << i << ": "
+                                    << sts[i].ToString();
+  }
+  std::vector<Status> sts2(4);
+  file->ReadPages(lpns.data(), raw.data(), sts2.data(), 4);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(sts2[i].ok()) << "page " << i << ": " << sts2[i].ToString();
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, IoBackendTest,
                          ::testing::Values("sync", "uring"));
 
