@@ -14,12 +14,16 @@
 #   BENCH_profile.json — sample p99 QueryProfile from a small fig9 query
 #                     stream: the committed reference for the profiler's
 #                     JSON shape and a sanity check on its stage numbers.
+#   BENCH_server.json — closed-loop client/server sweep through the S25
+#                     front door: unbatched vs batched point-lookup
+#                     throughput and latency at 1/8/16 clients, plus an
+#                     overload phase that must shed at admission.
 # Usage: scripts/bench_snapshot.sh [build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD="${1:-build}"
-cmake --build "$BUILD" -j --target bench_fig1_primitives bench_fig4_data_vector bench_exec_scaling bench_fig9_end_to_end
+cmake --build "$BUILD" -j --target bench_fig1_primitives bench_fig4_data_vector bench_exec_scaling bench_fig9_end_to_end bench_server
 
 # fig1: the acceptance-relevant kernels (mget + search_eq) on every available
 # tier at every bit width, plus the codec-dispatched variants (S22) per
@@ -44,4 +48,10 @@ PAYG_ROWS="${PAYG_PROFILE_ROWS:-50000}" PAYG_QUERIES="${PAYG_PROFILE_QUERIES:-30
   PAYG_SESSION_US=0 PAYG_PROFILE_JSON=BENCH_profile.json \
   "$BUILD"/bench/bench_fig9_end_to_end > /dev/null
 
-echo "bench_snapshot.sh: wrote BENCH_fig1.json BENCH_fig4.json BENCH_exec_scaling.json BENCH_profile.json"
+# Server front door: self-hosted store + server, closed-loop clients. The
+# sweep asserts its own health (PAYG_EXPECT_SHED=1: no shedding at healthy
+# load, shedding in the overload phase).
+PAYG_BENCH_JSON=BENCH_server.json PAYG_EXPECT_SHED=1 \
+  "$BUILD"/bench/bench_server
+
+echo "bench_snapshot.sh: wrote BENCH_fig1.json BENCH_fig4.json BENCH_exec_scaling.json BENCH_profile.json BENCH_server.json"

@@ -48,7 +48,7 @@ SRC = REPO / "src"
 FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
 
 METRIC_LAYERS = ("storage", "cache", "rm", "exec", "query", "io", "buffer",
-                 "obs", "codec", "profile")
+                 "obs", "codec", "profile", "server")
 
 RAW_SYNC_RE = re.compile(
     r"std::(mutex|condition_variable(_any)?|lock_guard|unique_lock|"

@@ -220,6 +220,37 @@ struct VIn {
   }
 };
 
+// Exact vectorized membership for small probe sets: OR of one cmpeq per
+// pre-broadcast probe. N probes cost N compares on one shared unpack —
+// versus N whole search_eq scans, or VIn's band prefilter whose candidates
+// each re-run a scalar binary search. The latter degenerates to a fully
+// scalar scan whenever the probe band is wide (random probes over a large
+// dictionary — precisely the multi-probe batch shape), which is the case
+// this kernel removes.
+struct VInSmall {
+  static constexpr bool kVecExact = true;
+  static constexpr size_t kMaxProbes = 16;
+  detail::InPred s;
+  __m256i targets[kMaxProbes];
+  size_t n;
+  explicit VInSmall(const std::vector<ValueId>& vids)
+      : s{vids.data(), vids.size(), vids.front(),
+          static_cast<uint64_t>(vids.back()) - vids.front()},
+        n(vids.size()) {
+    for (size_t k = 0; k < n; ++k) {
+      targets[k] = _mm256_set1_epi32(static_cast<int>(vids[k]));
+    }
+  }
+  bool scalar(uint64_t v) const { return s(v); }
+  __m256i Vec(__m256i v) const {
+    __m256i acc = _mm256_cmpeq_epi32(v, targets[0]);
+    for (size_t k = 1; k < n; ++k) {
+      acc = _mm256_or_si256(acc, _mm256_cmpeq_epi32(v, targets[k]));
+    }
+    return acc;
+  }
+};
+
 // One scan skeleton for all three search kernels — the vector twin of
 // ScalarScan in bit_packing.cc. Matches are buffered locally and appended
 // out of line so no std::vector code is instantiated in this TU.
@@ -293,7 +324,11 @@ template <uint32_t BITS>
 void SearchInAvx2(const uint64_t* words, uint64_t from, uint64_t to,
                   const std::vector<ValueId>& vids, RowPos base,
                   std::vector<RowPos>* out) {
-  ScanAvx2<BITS>(words, from, to, base, out, VIn(vids));
+  if (vids.size() <= VInSmall::kMaxProbes) {
+    ScanAvx2<BITS>(words, from, to, base, out, VInSmall(vids));
+  } else {
+    ScanAvx2<BITS>(words, from, to, base, out, VIn(vids));
+  }
 }
 
 template <size_t... I>

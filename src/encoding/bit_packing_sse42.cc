@@ -148,6 +148,33 @@ struct VIn {
   }
 };
 
+// Exact vectorized membership for small probe sets (see the AVX2 twin for
+// the rationale): one cmpeq per pre-broadcast probe, OR-reduced, so wide
+// probe bands no longer degenerate into a scalar binary search per row.
+struct VInSmall {
+  static constexpr bool kVecExact = true;
+  static constexpr size_t kMaxProbes = 16;
+  detail::InPred s;
+  __m128i targets[kMaxProbes];
+  size_t n;
+  explicit VInSmall(const std::vector<ValueId>& vids)
+      : s{vids.data(), vids.size(), vids.front(),
+          static_cast<uint64_t>(vids.back()) - vids.front()},
+        n(vids.size()) {
+    for (size_t k = 0; k < n; ++k) {
+      targets[k] = _mm_set1_epi32(static_cast<int>(vids[k]));
+    }
+  }
+  bool scalar(uint64_t v) const { return s(v); }
+  __m128i Vec(__m128i v) const {
+    __m128i acc = _mm_cmpeq_epi32(v, targets[0]);
+    for (size_t k = 1; k < n; ++k) {
+      acc = _mm_or_si128(acc, _mm_cmpeq_epi32(v, targets[k]));
+    }
+    return acc;
+  }
+};
+
 template <uint32_t BITS, typename VPred>
 void ScanSse42(const uint64_t* words, uint64_t from, uint64_t to, RowPos base,
                std::vector<RowPos>* out, const VPred& pred) {
@@ -222,7 +249,11 @@ template <uint32_t BITS>
 void SearchInSse42(const uint64_t* words, uint64_t from, uint64_t to,
                    const std::vector<ValueId>& vids, RowPos base,
                    std::vector<RowPos>* out) {
-  ScanSse42<BITS>(words, from, to, base, out, VIn(vids));
+  if (vids.size() <= VInSmall::kMaxProbes) {
+    ScanSse42<BITS>(words, from, to, base, out, VInSmall(vids));
+  } else {
+    ScanSse42<BITS>(words, from, to, base, out, VIn(vids));
+  }
 }
 
 // Widths 26..32 fall back to the scalar kernels inside this tier's table.

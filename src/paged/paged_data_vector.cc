@@ -326,6 +326,22 @@ bool PagedDataVectorIterator::MayContain(RowPos rpos, ValueId lo,
   return summary_->MayContain(page_idx, lo, hi);
 }
 
+bool PagedDataVectorIterator::MayContainAny(
+    RowPos rpos, const std::vector<ValueId>& sorted_vids) {
+  if (!use_summary_) return true;
+  if (!summary_checked_) {
+    summary_checked_ = true;
+    auto s = dv_->PinSummary(&summary_pin_);
+    if (s.ok()) summary_ = *s;
+  }
+  if (summary_ == nullptr) return true;  // no summary: no pruning
+  uint64_t page_idx = rpos / dv_->values_per_page_;
+  if (page_idx >= summary_->page_count()) return true;
+  auto it = std::lower_bound(sorted_vids.begin(), sorted_vids.end(),
+                             summary_->min_vid[page_idx]);
+  return it != sorted_vids.end() && *it <= summary_->max_vid[page_idx];
+}
+
 Status PagedDataVectorIterator::Reposition(RowPos rpos, bool sequential) {
   LogicalPageNo lpn = dv_->PageOfRow(rpos);
   if (lpn == current_lpn_ && current_.valid()) return Status::OK();
@@ -454,11 +470,9 @@ Status PagedDataVectorIterator::SearchIn(
     std::vector<RowPos>* out) {
   if (from > to || to > dv_->row_count_) return Status::OutOfRange("range");
   if (sorted_vids.empty()) return Status::OK();
-  const ValueId band_lo = sorted_vids.front();
-  const ValueId band_hi = sorted_vids.back();
   RowPos r = from;
   while (r < to) {
-    if (!MayContain(r, band_lo, band_hi)) {
+    if (!MayContainAny(r, sorted_vids)) {
       RowPos page_end = static_cast<RowPos>(
           (r / dv_->values_per_page_ + 1) * dv_->values_per_page_);
       r = std::min(to, page_end);

@@ -183,6 +183,12 @@ class PagedDataVectorIterator {
   // summary cannot be loaded, every page "may" match).
   bool MayContain(RowPos rpos, ValueId lo, ValueId hi);
 
+  // Set-aware variant for SearchIn: true if the page holding `rpos` may
+  // contain any vid of `sorted_vids`. Strictly sharper than checking the
+  // set's [front, back] band — a page whose [min, max] falls in a gap
+  // between two probes is pruned even though it overlaps the band.
+  bool MayContainAny(RowPos rpos, const std::vector<ValueId>& sorted_vids);
+
   PagedDataVector* dv_;
   ExecContext* ctx_ = nullptr;
   PageRef current_;

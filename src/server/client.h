@@ -1,0 +1,108 @@
+#ifndef PAYG_SERVER_CLIENT_H_
+#define PAYG_SERVER_CLIENT_H_
+
+// Blocking client of the S25 wire protocol: one connection, one in-flight
+// request (the protocol is a strict request/response alternation). Not
+// thread-safe — benches give every closed-loop thread its own Client.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "server/wire.h"
+
+namespace payg::server {
+
+class Client {
+ public:
+  static Result<std::unique_ptr<Client>> ConnectUnix(const std::string& path);
+  static Result<std::unique_ptr<Client>> ConnectTcp(int port);
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Every query op takes an optional per-request deadline budget in
+  // microseconds (0 = none), measured by the server from receipt. Errors
+  // come back as the engine Status for codes < 100; server-shell codes map
+  // to ResourceExhausted (kOverloaded), DeadlineExceeded (kShedDeadline)
+  // and InvalidArgument (kBadRequest) — last_code() keeps the exact wire
+  // code for callers that need to tell them apart.
+
+  Status Ping();
+  // Asks the server to export metrics.json/.prom into its stats dir.
+  Status DumpStats();
+
+  Result<QueryResult> SelectByValue(const std::string& table,
+                                    const std::string& column,
+                                    const Value& value,
+                                    const std::vector<std::string>&
+                                        select_columns,
+                                    uint64_t deadline_us = 0);
+  Result<uint64_t> CountByValue(const std::string& table,
+                                const std::string& column, const Value& value,
+                                uint64_t deadline_us = 0);
+  Result<std::vector<RowId>> RowIdsByValue(const std::string& table,
+                                           const std::string& column,
+                                           const Value& value,
+                                           uint64_t deadline_us = 0);
+  Result<QueryResult> SelectRange(const std::string& table,
+                                  const std::string& column, const Value& lo,
+                                  const Value& hi,
+                                  const std::vector<std::string>&
+                                      select_columns,
+                                  uint64_t deadline_us = 0);
+  Result<double> SumRange(const std::string& table, const std::string& column,
+                          const Value& lo, const Value& hi,
+                          const std::string& sum_column,
+                          uint64_t deadline_us = 0);
+  Result<QueryResult> SelectIn(const std::string& table,
+                               const std::string& column,
+                               const std::vector<Value>& values,
+                               const std::vector<std::string>& select_columns,
+                               uint64_t deadline_us = 0);
+  Result<uint64_t> CountIn(const std::string& table,
+                           const std::string& column,
+                           const std::vector<Value>& values,
+                           uint64_t deadline_us = 0);
+  Result<QueryResult> SelectPrefix(const std::string& table,
+                                   const std::string& column,
+                                   const std::string& prefix,
+                                   const std::vector<std::string>&
+                                       select_columns,
+                                   uint64_t deadline_us = 0);
+  Result<uint64_t> CountPrefix(const std::string& table,
+                               const std::string& column,
+                               const std::string& prefix,
+                               uint64_t deadline_us = 0);
+  Result<QueryResult> SelectWhere(const std::string& table,
+                                  const std::vector<Predicate>& predicates,
+                                  const std::vector<std::string>&
+                                      select_columns,
+                                  uint64_t deadline_us = 0);
+  Result<uint64_t> CountWhere(const std::string& table,
+                              const std::vector<Predicate>& predicates,
+                              uint64_t deadline_us = 0);
+
+  // Wire code and server query id of the most recent round trip.
+  wire::Code last_code() const { return last_code_; }
+  uint64_t last_query_id() const { return last_query_id_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  // Sends `req`, reads the response frame, records last_code/last_query_id
+  // and maps non-OK codes to a Status.
+  Result<wire::Response> RoundTrip(const wire::Request& req);
+
+  int fd_;
+  wire::Code last_code_ = wire::Code::kOk;
+  uint64_t last_query_id_ = 0;
+};
+
+}  // namespace payg::server
+
+#endif  // PAYG_SERVER_CLIENT_H_

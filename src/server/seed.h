@@ -1,0 +1,33 @@
+#ifndef PAYG_SERVER_SEED_H_
+#define PAYG_SERVER_SEED_H_
+
+// Demo/bench dataset shared by payg_server, bench_server and the server
+// tests: one table "T" with page-loadable columns
+//   k   int64  — lookup key, uniform random over [0, key_space) with a
+//                fixed seed; every key occurs ~rows/key_space times.
+//                Deliberately NOT indexed and deliberately not clustered:
+//                a point lookup costs a full (paged) scan that page
+//                summaries cannot prune, which is exactly the cost the
+//                same-partition batcher amortizes.
+//   v   int64  — payload, equal to the row number
+//   tag string — "K%06ld" of k, for prefix queries over the wire
+// Rows are inserted into the hot delta and merged, so queries run against
+// main fragments.
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/column_store.h"
+
+namespace payg::server {
+
+struct SeedSpec {
+  uint64_t rows = 100000;
+  uint64_t key_space = 0;  // 0 → rows / 8 (each key ~8 times)
+};
+
+Status SeedDemoTable(ColumnStore* store, const SeedSpec& spec);
+
+}  // namespace payg::server
+
+#endif  // PAYG_SERVER_SEED_H_

@@ -282,6 +282,77 @@ Status Table::FindMatches(Partition* part, int col, const Value& value,
   return Status::OK();
 }
 
+Status Table::MultiFindMatches(Partition* part, int col,
+                               const std::vector<Value>& probes,
+                               ExecContext* ctx, std::vector<RowPos>* rows,
+                               std::vector<std::vector<uint32_t>>* row_probes) {
+  // Probe the dictionary once per distinct probe and remember which probe
+  // indices each vid answers (duplicate probes share a vid; absent probes
+  // drop out here and keep empty result slots).
+  std::map<ValueId, std::vector<uint32_t>> vid_probes;
+  if (part->main(col) != nullptr && part->main_row_count() > 0) {
+    PAYG_ASSIGN_OR_RETURN(auto reader, part->main(col)->NewReader(ctx));
+    for (uint32_t j = 0; j < probes.size(); ++j) {
+      PAYG_ASSIGN_OR_RETURN(ValueId vid, reader->FindValueId(probes[j]));
+      if (vid != kInvalidValueId) vid_probes[vid].push_back(j);
+    }
+    if (!vid_probes.empty()) {
+      std::vector<ValueId> vids;
+      vids.reserve(vid_probes.size());
+      for (const auto& [vid, unused] : vid_probes) vids.push_back(vid);
+      // search_in dispatches over the merged sorted probe set — the scan
+      // every probe of this batch shares. Probe sets are chunked to the
+      // size the SIMD tiers evaluate exactly (one cmpeq per probe); beyond
+      // that the kernels degrade to a band prefilter + scalar membership
+      // check per candidate, which for a wide probe band costs more than a
+      // second pass over the (now hot) pages.
+      constexpr size_t kProbeChunk = 16;
+      std::vector<RowPos> matched;
+      for (size_t c = 0; c < vids.size(); c += kProbeChunk) {
+        std::vector<ValueId> chunk(
+            vids.begin() + static_cast<ptrdiff_t>(c),
+            vids.begin() +
+                static_cast<ptrdiff_t>(std::min(c + kProbeChunk, vids.size())));
+        PAYG_RETURN_IF_ERROR(reader->SearchVidSet(
+            0, static_cast<RowPos>(part->main_row_count()), chunk, &matched));
+      }
+      // Chunks interleave in row space; restore ascending row order so the
+      // per-probe results match what individual lookups would return.
+      std::sort(matched.begin(), matched.end());
+      for (RowPos r : matched) {
+        if (!part->IsVisible(r)) continue;
+        // Attribute the row to its probes. The row's pages are pinned hot
+        // from the search, so re-decoding the vid is cheap.
+        PAYG_ASSIGN_OR_RETURN(ValueId vid, reader->GetVid(r));
+        auto it = vid_probes.find(vid);
+        PAYG_ASSERT(it != vid_probes.end());
+        rows->push_back(r);
+        row_probes->push_back(it->second);
+      }
+    }
+  }
+  // Delta: one value-space pass over the delta rows for the whole batch
+  // (individual lookups scan it once per probe).
+  std::map<std::string, std::vector<uint32_t>> key_probes;
+  for (uint32_t j = 0; j < probes.size(); ++j) {
+    key_probes[probes[j].EncodeKey()].push_back(j);
+  }
+  DeltaFragment* delta = part->delta(col);
+  const RowPos base = static_cast<RowPos>(part->main_row_count());
+  const uint64_t delta_rows = delta->row_count();
+  for (uint64_t r = 0; r < delta_rows; ++r) {
+    const Value& v = delta->GetValue(delta->GetVid(static_cast<RowPos>(r)));
+    auto it = key_probes.find(v.EncodeKey());
+    if (it == key_probes.end()) continue;
+    const RowPos pos = base + static_cast<RowPos>(r);
+    if (!part->IsVisible(pos)) continue;
+    rows->push_back(pos);
+    row_probes->push_back(it->second);
+  }
+  CountRowsScanned(ctx, delta_rows);
+  return Status::OK();
+}
+
 Status Table::FindMatchesRange(Partition* part, int col, const Value& lo,
                                const Value& hi, ExecContext* ctx,
                                std::vector<RowPos>* out) {
@@ -468,6 +539,98 @@ Result<std::vector<RowId>> Table::RowIdsByValue(
         return FindMatches(part, col, value, c, rows);
       },
       ctx);
+}
+
+namespace {
+
+// Shared probe validation for the multi-lookup entry points: a mistyped
+// probe would hit the dictionary's typed-compare assertion deep in the
+// engine, so reject it at the API boundary (the server forwards untrusted
+// client values here).
+Status CheckProbeTypes(const TableSchema& schema, int col,
+                       const std::vector<Value>& probes) {
+  for (const Value& p : probes) {
+    if (p.type() != schema.columns[col].type) {
+      return Status::InvalidArgument(
+          "probe type does not match column " + schema.columns[col].name);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<QueryResult>> Table::MultiSelectByValue(
+    const std::string& filter_column, const std::vector<Value>& probes,
+    const std::vector<std::string>& select_columns, ExecContext* ctx) {
+  int col = schema_.ColumnIndex(filter_column);
+  if (col < 0) return Status::NotFound("no such column: " + filter_column);
+  PAYG_RETURN_IF_ERROR(CheckProbeTypes(schema_, col, probes));
+  PAYG_ASSIGN_OR_RETURN(std::vector<int> select_cols,
+                        ResolveColumns(select_columns));
+  if (probes.empty()) return std::vector<QueryResult>{};
+  const size_t n = partitions_.size();
+  // partials[i][j] = probe j's rows from partition i; task i writes slot i.
+  std::vector<std::vector<QueryResult>> partials(n);
+  PAYG_RETURN_IF_ERROR(executor_->ForEach(ctx, n, [&](size_t i) -> Status {
+    Partition* part = partitions_[i].get();
+    CountPartitionVisited(ctx);
+    std::vector<RowPos> rows;
+    std::vector<std::vector<uint32_t>> row_probes;
+    PAYG_RETURN_IF_ERROR(
+        MultiFindMatches(part, col, probes, ctx, &rows, &row_probes));
+    // One materialization pass over the union of matched rows: each
+    // column's pages and dictionary entries are touched once for the whole
+    // batch, then the rows fan back out to their probes.
+    QueryResult united;
+    PAYG_RETURN_IF_ERROR(
+        MaterializeRows(part, rows, select_cols, ctx, &united));
+    partials[i].resize(probes.size());
+    for (size_t k = 0; k < rows.size(); ++k) {
+      for (uint32_t j : row_probes[k]) {
+        partials[i][j].rows.push_back(united.rows[k]);
+      }
+    }
+    return Status::OK();
+  }));
+  std::vector<QueryResult> out(probes.size());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < probes.size(); ++j) {
+      for (auto& row : partials[i][j].rows) {
+        out[j].rows.push_back(std::move(row));
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<uint64_t>> Table::MultiCountByValue(
+    const std::string& filter_column, const std::vector<Value>& probes,
+    ExecContext* ctx) {
+  int col = schema_.ColumnIndex(filter_column);
+  if (col < 0) return Status::NotFound("no such column: " + filter_column);
+  PAYG_RETURN_IF_ERROR(CheckProbeTypes(schema_, col, probes));
+  if (probes.empty()) return std::vector<uint64_t>{};
+  const size_t n = partitions_.size();
+  std::vector<std::vector<uint64_t>> partials(n);
+  PAYG_RETURN_IF_ERROR(executor_->ForEach(ctx, n, [&](size_t i) -> Status {
+    Partition* part = partitions_[i].get();
+    CountPartitionVisited(ctx);
+    std::vector<RowPos> rows;
+    std::vector<std::vector<uint32_t>> row_probes;
+    PAYG_RETURN_IF_ERROR(
+        MultiFindMatches(part, col, probes, ctx, &rows, &row_probes));
+    partials[i].assign(probes.size(), 0);
+    for (const auto& js : row_probes) {
+      for (uint32_t j : js) ++partials[i][j];
+    }
+    return Status::OK();
+  }));
+  std::vector<uint64_t> out(probes.size(), 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < probes.size(); ++j) out[j] += partials[i][j];
+  }
+  return out;
 }
 
 Result<QueryResult> Table::SelectRange(

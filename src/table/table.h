@@ -156,6 +156,28 @@ class Table {
                                 const Value& value,
                                 ExecContext* ctx = nullptr);
 
+  // --- batched point lookups (S25) ----------------------------------------
+  //
+  // Evaluates many `filter_column = probe` lookups in one pass. Per
+  // partition this costs one reader (one pin pass over the column's pages)
+  // and one merged search_in kernel dispatch over the sorted probe-vid set,
+  // instead of one full lookup per probe — the engine-side primitive behind
+  // the server's same-partition request batching. Element i of the result
+  // is identical to SelectByValue(filter_column, probes[i], select_columns)
+  // (same rows, same order); probes may repeat and may be absent from the
+  // table (their slot is simply empty).
+
+  Result<std::vector<QueryResult>> MultiSelectByValue(
+      const std::string& filter_column, const std::vector<Value>& probes,
+      const std::vector<std::string>& select_columns,
+      ExecContext* ctx = nullptr);
+
+  // COUNT(*) sibling: element i equals CountByValue(filter_column,
+  // probes[i]).
+  Result<std::vector<uint64_t>> MultiCountByValue(
+      const std::string& filter_column, const std::vector<Value>& probes,
+      ExecContext* ctx = nullptr);
+
   // SELECT ROWID() FROM T WHERE <filter_column> = <value>
   Result<std::vector<RowId>> RowIdsByValue(const std::string& filter_column,
                                            const Value& value,
@@ -259,6 +281,16 @@ class Table {
   // Row positions in `part` whose `col` equals `value`, visible rows only.
   Status FindMatches(Partition* part, int col, const Value& value,
                      ExecContext* ctx, std::vector<RowPos>* out);
+  // Multi-probe variant of FindMatches: one dictionary pass + one merged
+  // SearchVidSet over the union of probe vids. Appends the matched visible
+  // rows (main matches in row order, then delta matches in row order) to
+  // *rows and, aligned with it, the indices of the probes each row matched
+  // to *row_probes (a row matches every probe equal to its value, so
+  // duplicate probes share rows).
+  Status MultiFindMatches(Partition* part, int col,
+                          const std::vector<Value>& probes, ExecContext* ctx,
+                          std::vector<RowPos>* rows,
+                          std::vector<std::vector<uint32_t>>* row_probes);
   // Row positions in `part` whose `col` is within [lo, hi], visible only.
   Status FindMatchesRange(Partition* part, int col, const Value& lo,
                           const Value& hi, ExecContext* ctx,
