@@ -1,0 +1,15 @@
+#ifndef PAYG_FUZZ_FUZZ_DRIVER_H_
+#define PAYG_FUZZ_FUZZ_DRIVER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// Every fuzz target defines the libFuzzer entry point. The build links the
+// target against either real libFuzzer (clang with PAYG_FUZZERS=ON, via
+// -fsanitize=fuzzer) or the standalone replay/mutation driver in
+// standalone_main.cc (every other toolchain) — the target itself cannot
+// tell the difference, and both drivers accept `-runs=0 <corpus-dir>` for
+// the deterministic corpus replay ctest runs on every build.
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+#endif  // PAYG_FUZZ_FUZZ_DRIVER_H_

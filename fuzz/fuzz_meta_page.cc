@@ -1,0 +1,51 @@
+// Fuzz target for the data-vector meta-page parser
+// (ParseDataVectorMeta in src/paged/paged_data_vector.cc) — the first
+// on-disk bytes PagedDataVector::Open trusts. Properties checked:
+//
+//   1. Never crash on an arbitrary payload of arbitrary claimed size (the
+//      payload buffer is allocated at exactly the claimed size, so any
+//      read past it is an ASan report).
+//   2. A payload that parses carries geometry the rest of the code can run
+//      on: bits in [1, 32], values_per_page a positive multiple of the
+//      64-value chunk, and a known codec id — the invariants
+//      ValidateGeometry promises downstream code.
+//   3. Parsing is deterministic: the same bytes parse to the same meta.
+
+#include <cstring>
+#include <vector>
+
+#include "encoding/codec.h"
+#include "paged/paged_data_vector.h"
+
+#include "fuzz_driver.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // Heap-copy at the exact input size so ASan owns the buffer's edges.
+  std::vector<uint8_t> payload(data, data + size);
+  payg::DataVectorMeta meta;
+  payg::Status s = payg::ParseDataVectorMeta(
+      payload.data(), static_cast<uint32_t>(size), &meta);
+  if (!s.ok()) return 0;
+
+  if (meta.codec.params.bits < 1 || meta.codec.params.bits > 32) {
+    __builtin_trap();
+  }
+  if (meta.values_per_page == 0 || meta.values_per_page % 64 != 0) {
+    __builtin_trap();
+  }
+  if (static_cast<uint32_t>(meta.codec.id) >= payg::kCodecCount) {
+    __builtin_trap();
+  }
+
+  payg::DataVectorMeta again;
+  payg::Status s2 = payg::ParseDataVectorMeta(
+      payload.data(), static_cast<uint32_t>(size), &again);
+  if (!s2.ok() || again.row_count != meta.row_count ||
+      again.values_per_page != meta.values_per_page ||
+      again.codec.id != meta.codec.id ||
+      again.codec.params.bits != meta.codec.params.bits ||
+      again.codec.params.for_base != meta.codec.params.for_base) {
+    __builtin_trap();
+  }
+  return 0;
+}

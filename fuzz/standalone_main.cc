@@ -1,0 +1,250 @@
+// Standalone driver for the fuzz targets: a libFuzzer-shaped main() for
+// toolchains without -fsanitize=fuzzer (GCC builds, and any clang build
+// that does not opt into PAYG_FUZZERS).
+//
+// It understands the subset of libFuzzer's command line the build system
+// and CI use, with the same semantics:
+//
+//   fuzz_x -runs=0 <dir|file>...          replay every corpus input, exit
+//   fuzz_x -max_total_time=60 <dir>...    replay, then mutate for 60 s
+//   fuzz_x -runs=100000 <dir>...          replay, then run 100k mutants
+//   -seed=N      PRNG seed (default 1; deterministic for a fixed seed)
+//   -max_len=N   mutant size cap (default 4096 bytes)
+//
+// The mutation engine is deliberately simple — byte flips, arithmetic
+// nudges, block deletes/duplicates, and two-parent splices over the seed
+// corpus. It has no coverage feedback; its job is to keep the targets
+// exercisable everywhere while real coverage-guided runs happen on the
+// clang + libFuzzer configuration. Crashing inputs are dumped to
+// ./crash-<pid>.bin from a signal handler before the sanitizer report, so
+// a reproducer survives even an ASan abort.
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz_driver.h"
+
+namespace {
+
+// The input being executed right now, exposed to the crash handler. Plain
+// pointers: the handler must not touch std::vector internals mid-resize.
+const uint8_t* g_current_data = nullptr;
+size_t g_current_size = 0;
+
+void DumpCurrentInput(int sig) {
+  char path[64];
+  std::snprintf(path, sizeof path, "crash-%d.bin", static_cast<int>(getpid()));
+  int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    size_t off = 0;
+    while (off < g_current_size) {
+      ssize_t n = ::write(fd, g_current_data + off, g_current_size - off);
+      if (n <= 0) break;
+      off += static_cast<size_t>(n);
+    }
+    ::close(fd);
+    const char msg[] = "standalone driver: crashing input saved to ./crash-<pid>.bin\n";
+    ssize_t ignored = ::write(2, msg, sizeof msg - 1);
+    (void)ignored;
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void InstallCrashHandlers() {
+  for (int sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT}) {
+    ::signal(sig, DumpCurrentInput);
+  }
+}
+
+uint64_t g_rng_state = 1;
+
+uint64_t NextRand() {
+  // xorshift64* — deterministic for a fixed -seed.
+  uint64_t x = g_rng_state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  g_rng_state = x;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+size_t RandBelow(size_t n) { return n == 0 ? 0 : NextRand() % n; }
+
+void RunOne(const std::vector<uint8_t>& input) {
+  g_current_data = input.data();
+  g_current_size = input.size();
+  LLVMFuzzerTestOneInput(input.data(), input.size());
+  g_current_data = nullptr;
+  g_current_size = 0;
+}
+
+// One random edit in place. Mirrors libFuzzer's core mutators minus the
+// dictionary and coverage-driven ones.
+void Mutate(std::vector<uint8_t>* data, size_t max_len) {
+  if (data->empty()) {
+    data->push_back(static_cast<uint8_t>(NextRand()));
+    return;
+  }
+  switch (NextRand() % 6) {
+    case 0: {  // flip one bit
+      size_t i = RandBelow(data->size());
+      (*data)[i] ^= static_cast<uint8_t>(1u << (NextRand() % 8));
+      break;
+    }
+    case 1: {  // overwrite a byte
+      (*data)[RandBelow(data->size())] = static_cast<uint8_t>(NextRand());
+      break;
+    }
+    case 2: {  // add/subtract a small delta (length fields, counters)
+      size_t i = RandBelow(data->size());
+      (*data)[i] = static_cast<uint8_t>((*data)[i] + 1 + (NextRand() % 16) -
+                                        8);
+      break;
+    }
+    case 3: {  // delete a block
+      size_t from = RandBelow(data->size());
+      size_t len = 1 + RandBelow(data->size() - from);
+      data->erase(data->begin() + static_cast<ptrdiff_t>(from),
+                  data->begin() + static_cast<ptrdiff_t>(from + len));
+      break;
+    }
+    case 4: {  // duplicate a block
+      size_t from = RandBelow(data->size());
+      size_t len = 1 + RandBelow(std::min<size_t>(data->size() - from, 64));
+      std::vector<uint8_t> block(data->begin() + static_cast<ptrdiff_t>(from),
+                                 data->begin() +
+                                     static_cast<ptrdiff_t>(from + len));
+      size_t at = RandBelow(data->size());
+      data->insert(data->begin() + static_cast<ptrdiff_t>(at), block.begin(),
+                   block.end());
+      break;
+    }
+    default: {  // insert random bytes
+      size_t len = 1 + RandBelow(8);
+      size_t at = RandBelow(data->size());
+      for (size_t i = 0; i < len; ++i) {
+        data->insert(data->begin() + static_cast<ptrdiff_t>(at),
+                     static_cast<uint8_t>(NextRand()));
+      }
+      break;
+    }
+  }
+  if (data->size() > max_len) data->resize(max_len);
+}
+
+bool ReadFile(const std::filesystem::path& p, std::vector<uint8_t>* out) {
+  std::ifstream f(p, std::ios::binary);
+  if (!f) return false;
+  out->assign(std::istreambuf_iterator<char>(f),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long runs = 0;
+  long long max_total_time = 0;
+  size_t max_len = 4096;
+  std::vector<std::filesystem::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::atoll(arg.c_str() + 6);
+    } else if (arg.rfind("-max_total_time=", 0) == 0) {
+      max_total_time = std::atoll(arg.c_str() + 16);
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      g_rng_state = static_cast<uint64_t>(std::atoll(arg.c_str() + 6)) | 1;
+    } else if (arg.rfind("-max_len=", 0) == 0) {
+      max_len = static_cast<size_t>(std::atoll(arg.c_str() + 9));
+    } else if (!arg.empty() && arg[0] == '-') {
+      // Unknown libFuzzer flag: ignore, so shared CI invocations work.
+      std::fprintf(stderr, "standalone driver: ignoring flag %s\n",
+                   arg.c_str());
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+
+  InstallCrashHandlers();
+
+  // Collect corpus files (positional files, plus every regular file inside
+  // positional directories), sorted so replay order is deterministic.
+  std::vector<std::filesystem::path> files;
+  for (const auto& in : inputs) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(in, ec)) {
+      for (const auto& e : std::filesystem::directory_iterator(in, ec)) {
+        if (e.is_regular_file()) files.push_back(e.path());
+      }
+    } else if (std::filesystem::is_regular_file(in, ec)) {
+      files.push_back(in);
+    } else {
+      std::fprintf(stderr, "standalone driver: no such input: %s\n",
+                   in.string().c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<std::vector<uint8_t>> corpus;
+  for (const auto& f : files) {
+    std::vector<uint8_t> data;
+    if (!ReadFile(f, &data)) {
+      std::fprintf(stderr, "standalone driver: cannot read %s\n",
+                   f.string().c_str());
+      return 2;
+    }
+    RunOne(data);
+    corpus.push_back(std::move(data));
+  }
+  std::fprintf(stderr, "standalone driver: replayed %zu corpus inputs\n",
+               corpus.size());
+
+  long long executed = 0;
+  if (runs > 0 || max_total_time > 0) {
+    const std::time_t deadline =
+        max_total_time > 0 ? std::time(nullptr) + max_total_time : 0;
+    while ((runs <= 0 || executed < runs) &&
+           (deadline == 0 || std::time(nullptr) < deadline)) {
+      std::vector<uint8_t> mutant =
+          corpus.empty() ? std::vector<uint8_t>{}
+                         : corpus[RandBelow(corpus.size())];
+      // Occasionally splice in a tail from a second parent before the
+      // random edits — crosses length fields with foreign bodies.
+      if (corpus.size() >= 2 && NextRand() % 4 == 0) {
+        const auto& other = corpus[RandBelow(corpus.size())];
+        if (!other.empty() && !mutant.empty()) {
+          mutant.resize(RandBelow(mutant.size()) + 1);
+          size_t from = RandBelow(other.size());
+          mutant.insert(mutant.end(), other.begin() +
+                        static_cast<ptrdiff_t>(from), other.end());
+        }
+      }
+      const int edits = 1 + static_cast<int>(NextRand() % 4);
+      for (int e = 0; e < edits; ++e) Mutate(&mutant, max_len);
+      RunOne(mutant);
+      ++executed;
+      if ((executed & 0xFFFF) == 0) {
+        std::fprintf(stderr, "#%lld\trunning\n", executed);
+      }
+    }
+  }
+  std::fprintf(stderr, "#%lld\tDONE\n",
+               executed + static_cast<long long>(corpus.size()));
+  return 0;
+}

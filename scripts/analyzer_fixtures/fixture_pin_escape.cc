@@ -1,0 +1,46 @@
+// Self-test fixture for the pin-escape rule. Never compiled — parsed only
+// by scripts/payg_analyzer.py --self-test.
+
+#include "fixture_common.h"
+
+namespace payg {
+
+class Escaper {
+ public:
+  // Violation: returns a pointer into a page whose pin is a local — the
+  // PageRef releases when this function returns.
+  const uint8_t* LeakPayload(PageCache* cache) {
+    PageRef ref = cache->GetPage(1).value();
+    const uint8_t* p = ref.page().payload();
+    return p;
+  }
+
+  // Violation: stores a pin-derived pointer into a member that outlives
+  // the local pin.
+  void StashPayload(PageCache* cache) {
+    PageRef ref = cache->GetPage(2).value();
+    stashed_ = ref.page().payload();
+  }
+
+  // Clean: the pin is a member too, so the stored pointer lives exactly
+  // as long as the pin — this is the iterator's view_ pattern.
+  void MemberPin(PageCache* cache) {
+    current_ = cache->GetPage(3).value();
+    stashed_ = current_.page().payload();
+  }
+
+  // Clean: derived pointer used only inside the pin's scope.
+  uint64_t SumInsideScope(PageCache* cache) {
+    PageRef ref = cache->GetPage(4).value();
+    const uint8_t* p = ref.page().payload();
+    uint64_t sum = 0;
+    for (int i = 0; i < 8; ++i) sum += p[i];
+    return sum;
+  }
+
+ private:
+  const uint8_t* stashed_ = nullptr;
+  PageRef current_;
+};
+
+}  // namespace payg

@@ -1,0 +1,27 @@
+// Self-test fixture for the wire-bounds rule. Never compiled — parsed only
+// by scripts/payg_analyzer.py --self-test.
+
+#include "fixture_common.h"
+
+namespace payg {
+
+// Violation: indexes the payload with no size() check anywhere before the
+// read — the shape of a decoder added without its guard.
+uint8_t UnguardedRead(std::string_view payload, size_t pos) {
+  return static_cast<uint8_t>(payload[pos + 3]);
+}
+
+// Violation: substr on the frame data without a dominating length check.
+std::string_view UnguardedSubstr(std::string_view data, size_t pos,
+                                 uint32_t len) {
+  return data.substr(pos, len);
+}
+
+// Clean: the Cursor pattern — every read behind a size() comparison.
+bool GuardedRead(std::string_view data, size_t pos, uint8_t* out) {
+  if (pos + 1 > data.size()) return false;
+  *out = static_cast<uint8_t>(data[pos]);
+  return true;
+}
+
+}  // namespace payg

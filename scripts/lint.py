@@ -23,7 +23,12 @@ Rules (scanned over src/*.h, src/*.cc):
                    histogram("...") must follow the DESIGN.md §6 scheme:
                    "<layer>.<metric>" with layer one of storage, cache, rm,
                    exec, query, io, buffer, obs (a literal that is a prefix
-                   of a concatenated name is checked as a prefix).
+                   of a concatenated name is checked as a prefix). The check
+                   is two-way against the fenced §6 metric inventory: every
+                   registered (name, kind) must appear there, and every
+                   inventory row must still be registered somewhere in src/
+                   — so the table can neither lag the code nor outlive it.
+                   Dynamic names use a <k> placeholder in the table.
 
   dropped-status   (void)-casting a call to a function whose declared return
                    type is Status or Result<T> silently swallows an error
@@ -55,7 +60,12 @@ RAW_SYNC_RE = re.compile(
     r"scoped_lock|shared_mutex|shared_lock)\b")
 MUTEX_DECL_RE = re.compile(r"^\s*(?:mutable\s+)?Mutex\s+(\w+)\s*;", re.M)
 GETENV_RE = re.compile(r"\bgetenv\s*\(")
-METRIC_RE = re.compile(r"\b(?:counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"")
+METRIC_RE = re.compile(
+    r"\b(counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"\s*([+)]?)")
+INVENTORY_ROW_RE = re.compile(
+    r"^\|\s*`([^`]+)`\s*\|\s*(counter|gauge|histogram)\s*\|", re.M)
+INVENTORY_BEGIN = "<!-- metric-inventory:begin -->"
+INVENTORY_END = "<!-- metric-inventory:end -->"
 VOID_CALL_RE = re.compile(r"\(void\)\s*[\w.\->:]*?(\w+)\s*\(")
 STATUS_FN_RE = re.compile(
     r"^\s*(?:static\s+|virtual\s+|inline\s+)*"
@@ -83,7 +93,19 @@ def allowed(line, rule):
     return any(m == rule for m in ALLOW_RE.findall(line))
 
 
-def check_file(path, text, status_fns, findings):
+def parse_metric_inventory(path):
+    """name -> (kind, lineno) from the fenced DESIGN.md §6 inventory table."""
+    text = path.read_text()
+    begin = text.index(INVENTORY_BEGIN)
+    end = text.index(INVENTORY_END)
+    inventory = {}
+    for m in INVENTORY_ROW_RE.finditer(text, begin, end):
+        lineno = text[:m.start()].count("\n") + 1
+        inventory[m.group(1)] = (m.group(2), lineno)
+    return inventory
+
+
+def check_file(path, text, status_fns, findings, inventory=None, used=None):
     rel = path.relative_to(REPO)
     lines = text.splitlines()
     is_shim = path.name == "thread_annotations.h"
@@ -100,17 +122,32 @@ def check_file(path, text, status_fns, findings):
             findings.append((rel, lineno, "raw-getenv",
                              "raw getenv; use EnvLong/EnvFlag/EnvRaw from "
                              "common/env.h"))
-        for name in METRIC_RE.findall(line):
+        for kind, name, trail in METRIC_RE.findall(line):
             if allowed(line, "metric-name"):
                 continue
             # A concatenated name ("cache.shard" + ...) is validated as a
             # prefix: the layer and the dotted shape must already be right.
+            is_prefix = trail == "+"
             ok = re.fullmatch(
                 r"(?:%s)\.[a-z0-9_.]+" % "|".join(METRIC_LAYERS), name)
             if not ok:
                 findings.append((rel, lineno, "metric-name",
                                  f'metric name "{name}" does not follow the '
                                  "DESIGN.md §6 <layer>.<metric> scheme"))
+            if used is not None:
+                used.add((name, is_prefix))
+            if inventory is None:
+                continue
+            if is_prefix:
+                listed = any(iname.startswith(name) and ikind == kind
+                             for iname, (ikind, _) in inventory.items())
+            else:
+                listed = (name in inventory and inventory[name][0] == kind)
+            if not listed:
+                findings.append((rel, lineno, "metric-name",
+                                 f'{kind} "{name}" is missing from the '
+                                 "DESIGN.md §6 metric inventory (or is "
+                                 "listed with a different kind)"))
         m = VOID_CALL_RE.search(line)
         if m and m.group(1) in status_fns and not allowed(
                 line, "dropped-status"):
@@ -137,10 +174,25 @@ def check_file(path, text, status_fns, findings):
                                  "anywhere in this file"))
 
 
-def run(root, status_fns):
+def run(root, status_fns, inventory=None):
     findings = []
+    used = set()
     for path in source_files(root):
-        check_file(path, path.read_text(), status_fns, findings)
+        check_file(path, path.read_text(), status_fns, findings,
+                   inventory=inventory, used=used)
+    if inventory is not None:
+        # Reverse direction: every inventory row must still be registered.
+        # A dynamic registration ("cache.shard" + ...) covers the rows it
+        # prefixes (e.g. `cache.shard<k>.pages`).
+        for iname, (ikind, lineno) in sorted(inventory.items()):
+            covered = any(iname == u or (dyn and iname.startswith(u))
+                          for u, dyn in used)
+            if not covered:
+                findings.append(
+                    (Path("DESIGN.md"), lineno, "metric-name",
+                     f'inventory row "{iname}" ({ikind}) is not registered '
+                     "anywhere under the scanned tree — remove the row or "
+                     "restore the metric"))
     return findings
 
 
@@ -156,8 +208,15 @@ def main():
             ("bad_getenv.cc", "raw-getenv"),
             ("bad_metric.cc", "metric-name"),
             ("bad_status.cc", "dropped-status"),
+            # The stale inventory row below must be flagged in the reverse
+            # direction of the two-way metric check.
+            ("DESIGN.md", "metric-name"),
         }
-        findings = run(FIXTURES, status_fns)
+        fixture_inventory = {
+            "cache.fixture_touches": ("counter", 1),
+            "cache.fixture_stale": ("gauge", 2),
+        }
+        findings = run(FIXTURES, status_fns, inventory=fixture_inventory)
         got = {(str(rel.name), rule) for rel, _, rule, _ in findings}
         missing = expected - got
         unexpected = {g for g in got
@@ -177,7 +236,8 @@ def main():
         print("self-test " + ("OK" if ok else "FAILED"))
         return 0 if ok else 1
 
-    findings = run(SRC, status_fns)
+    findings = run(SRC, status_fns,
+                   inventory=parse_metric_inventory(REPO / "DESIGN.md"))
     for rel, lineno, rule, msg in findings:
         print(f"{rel}:{lineno}: [{rule}] {msg}")
     if findings:

@@ -407,6 +407,60 @@ uint32_t CodecEncodePage(const CodecChoice& choice, const ValueId* vids,
   return PlainPayloadBytes(n, bits);
 }
 
+Status CodecValidatePage(CodecId id, const CodecPageView& v,
+                         uint32_t payload_size) {
+  if (v.params.bits < 1 || v.params.bits > 32) {
+    return Status::Corruption("codec page: bits out of range [1, 32]");
+  }
+  if (id == CodecId::kRle && v.aux2 != kRleEscapeAux) {
+    const uint64_t runs = v.aux2;
+    if ((runs == 0) != (v.n == 0)) {
+      return Status::Corruption(
+          "rle page: run count and row count disagree about emptiness");
+    }
+    if (runs > v.n) {
+      return Status::Corruption("rle page: more runs than rows");
+    }
+    const uint64_t catalog_bytes = AlignUp(uint64_t{4} * runs, 8);
+    const uint64_t vals_bytes = (CeilDiv(runs * v.params.bits, 64) + 1) * 8;
+    if (catalog_bytes + vals_bytes > payload_size) {
+      return Status::Corruption("rle page: run catalog overflows payload");
+    }
+    const uint32_t* ends = reinterpret_cast<const uint32_t*>(v.words);
+    uint32_t prev = 0;
+    for (uint64_t i = 0; i < runs; ++i) {
+      if (ends[i] <= prev) {
+        return Status::Corruption("rle page: run ends not strictly "
+                                  "increasing");
+      }
+      prev = ends[i];
+    }
+    if (prev != v.n) {
+      return Status::Corruption(
+          "rle page: last run end does not match the page row count");
+    }
+    return Status::OK();
+  }
+  // Plain, FOR and RLE-escape images share the packed layout: n values at
+  // `bits`, whole chunks, one spare word for the kernels' 8-byte window.
+  // 64-bit arithmetic throughout — a hostile row count near 2^32 must not
+  // wrap the byte bound it is checked against.
+  if (v.n > 0xFFFFFFFFull) {
+    return Status::Corruption("codec page: row count exceeds u32");
+  }
+  const uint64_t packed_bytes =
+      CeilDiv(v.n, kChunkValues) *
+          static_cast<uint64_t>(ChunkBytes(v.params.bits)) +
+      sizeof(uint64_t);
+  if (packed_bytes > payload_size) {
+    return Status::Corruption("codec page: packed image for " +
+                              std::to_string(v.n) + " values at " +
+                              std::to_string(v.params.bits) +
+                              " bits overflows the payload");
+  }
+  return Status::OK();
+}
+
 const CodecKernels& CodecKernelTable(CodecId id) {
   // The codec dimension of the (codec × kernel × tier) dispatch: each row's
   // functions resolve the tier through CodecPageView::kernels. A null entry

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "encoding/simd_dispatch.h"
 #include "encoding/types.h"
 
@@ -122,6 +123,25 @@ struct CodecPageView {
   CodecParams params;
   const PackedKernels* kernels = nullptr;
 };
+
+// Validates one on-disk page image before any kernel touches it. The
+// kernels trust the view completely — the RLE paths walk the run catalog
+// that `aux2` sizes and `PackedGet` walks `bits`-wide slots up to `n` — so
+// a page whose header or catalog lies about its own geometry would read
+// past the payload. Checks, per codec:
+//   plain / FOR / RLE-escape:  the packed image for `n` values at `bits`
+//       (whole chunks + the kernels' spare overread word) fits in
+//       `payload_size`;
+//   RLE:  `aux2` run count is non-zero iff the page has rows and never
+//       exceeds `n`; catalog + packed run values (+ spare word) fit in
+//       `payload_size`; run ends are strictly increasing and the last one
+//       equals `n`.
+// Called once per page pin (PagedDataVectorIterator::Reposition) and by
+// the fuzz harness, which feeds it hostile images (fuzz/fuzz_codec_page).
+// O(1) for plain/FOR, O(runs) for RLE — the same order as one run-skipping
+// scan of the page.
+Status CodecValidatePage(CodecId id, const CodecPageView& v,
+                         uint32_t payload_size);
 
 // Native/fallback kernel accounting plus the shared decode scratch the
 // fallback path reuses across pages. Owned by the caller (one per

@@ -68,6 +68,59 @@ void RecordCodecBuild(CodecId id, uint64_t payload_bytes) {
 
 }  // namespace
 
+Status ParseDataVectorMeta(const uint8_t* payload, uint32_t payload_size,
+                           DataVectorMeta* out) {
+  const uint8_t* p = payload;
+  if (payload_size == kMetaV0PayloadSize) {
+    // Pre-codec chain: uniform n-bit packing, no version word.
+    std::memcpy(&out->codec.params.bits, p, sizeof(out->codec.params.bits));
+    std::memcpy(&out->row_count, p + 8, sizeof(out->row_count));
+    std::memcpy(&out->values_per_page, p + 16, sizeof(out->values_per_page));
+    out->codec.id = CodecId::kPlain;
+    out->codec.params.for_base = 0;
+  } else if (payload_size == kMetaV1PayloadSize) {
+    uint32_t version = 0;
+    std::memcpy(&version, p, sizeof(version));
+    if (version != kMetaVersion) {
+      return Status::Corruption(
+          "data vector meta: unsupported meta format version " +
+          std::to_string(version) + " (this build reads versions 0 and 1)");
+    }
+    std::memcpy(&out->codec.params.bits, p + 4,
+                sizeof(out->codec.params.bits));
+    std::memcpy(&out->row_count, p + 8, sizeof(out->row_count));
+    std::memcpy(&out->values_per_page, p + 16, sizeof(out->values_per_page));
+    if (p[24] >= kCodecCount) {
+      return Status::Corruption("data vector meta: unknown codec id " +
+                                std::to_string(p[24]));
+    }
+    out->codec.id = static_cast<CodecId>(p[24]);
+    std::memcpy(&out->codec.params.for_base, p + 28,
+                sizeof(out->codec.params.for_base));
+  } else {
+    return Status::Corruption("data vector meta: unrecognized payload size " +
+                              std::to_string(payload_size));
+  }
+  PAYG_RETURN_IF_ERROR(
+      ValidateGeometry(out->codec.params.bits, out->values_per_page));
+  if (out->codec.id == CodecId::kFor) {
+    // A legitimate FOR frame never wraps: base is the column minimum and
+    // base + largest residual is the column maximum, a u32. A base that
+    // can wrap makes decode (residual + base, mod 2^32) disagree with the
+    // searches' residual-space predicate translation, so reject it here —
+    // the one place the base enters the system.
+    const uint64_t mask = out->codec.params.bits >= 32
+                              ? 0xFFFFFFFFull
+                              : ((1ull << out->codec.params.bits) - 1);
+    if (out->codec.params.for_base > 0xFFFFFFFFull - mask) {
+      return Status::Corruption(
+          "data vector meta: FOR base plus packed range overflows the "
+          "32-bit vid space");
+    }
+  }
+  return Status::OK();
+}
+
 Result<std::unique_ptr<PagedDataVector>> PagedDataVector::Build(
     StorageManager* storage, ResourceManager* rm, PoolId pool,
     const std::string& name, const std::vector<ValueId>& vids) {
@@ -188,40 +241,12 @@ Result<std::unique_ptr<PagedDataVector>> PagedDataVector::Open(
   dv->storage_ = storage;
   dv->rm_ = rm;
   dv->pool_ = pool;
-  const uint8_t* p = meta.payload();
-  if (meta.payload_size() == kMetaV0PayloadSize) {
-    // Pre-codec chain: uniform n-bit packing, no version word.
-    std::memcpy(&dv->codec_.params.bits, p, sizeof(dv->codec_.params.bits));
-    std::memcpy(&dv->row_count_, p + 8, sizeof(dv->row_count_));
-    std::memcpy(&dv->values_per_page_, p + 16,
-                sizeof(dv->values_per_page_));
-    dv->codec_.id = CodecId::kPlain;
-  } else if (meta.payload_size() == kMetaV1PayloadSize) {
-    uint32_t version = 0;
-    std::memcpy(&version, p, sizeof(version));
-    if (version != kMetaVersion) {
-      return Status::Corruption(
-          "data vector meta: unsupported meta format version " +
-          std::to_string(version) + " (this build reads versions 0 and 1)");
-    }
-    std::memcpy(&dv->codec_.params.bits, p + 4,
-                sizeof(dv->codec_.params.bits));
-    std::memcpy(&dv->row_count_, p + 8, sizeof(dv->row_count_));
-    std::memcpy(&dv->values_per_page_, p + 16,
-                sizeof(dv->values_per_page_));
-    if (p[24] >= kCodecCount) {
-      return Status::Corruption("data vector meta: unknown codec id " +
-                                std::to_string(p[24]));
-    }
-    dv->codec_.id = static_cast<CodecId>(p[24]);
-    std::memcpy(&dv->codec_.params.for_base, p + 28,
-                sizeof(dv->codec_.params.for_base));
-  } else {
-    return Status::Corruption("data vector meta: unrecognized payload size " +
-                              std::to_string(meta.payload_size()));
-  }
+  DataVectorMeta parsed;
   PAYG_RETURN_IF_ERROR(
-      ValidateGeometry(dv->codec_.params.bits, dv->values_per_page_));
+      ParseDataVectorMeta(meta.payload(), meta.payload_size(), &parsed));
+  dv->codec_ = parsed.codec;
+  dv->row_count_ = parsed.row_count;
+  dv->values_per_page_ = parsed.values_per_page;
   dv->data_pages_ = file->page_count() - 1;
   dv->file_ = std::move(file);
   dv->cache_ = std::make_unique<PageCache>(dv->file_.get(), rm, pool,
@@ -252,6 +277,16 @@ Result<std::shared_ptr<PageSummary>> PagedDataVector::PinSummary(
   auto s = std::make_shared<PageSummary>();
   uint64_t pages;
   PAYG_ASSIGN_OR_RETURN(pages, r.GetU64());
+  // The count came off disk; bound it by what the chain can physically hold
+  // (8 bytes per entry after the header) before reserving, or a corrupt
+  // summary could demand terabytes in one reserve call.
+  const uint64_t max_pages =
+      sfile->page_count() * (sfile->page_size() / 8);
+  if (pages > max_pages) {
+    return Status::Corruption(
+        "page summary claims " + std::to_string(pages) +
+        " pages but its chain can hold at most " + std::to_string(max_pages));
+  }
   s->min_vid.reserve(pages);
   s->max_vid.reserve(pages);
   for (uint64_t p = 0; p < pages; ++p) {
@@ -380,6 +415,17 @@ Status PagedDataVectorIterator::Reposition(RowPos rpos, bool sequential) {
   current_lpn_ = lpn;
   page_first_row_ = static_cast<RowPos>((lpn - 1) * dv_->values_per_page_);
   page_rows_ = current_.page().header()->aux;
+  // The header's row count and codec word size every kernel access below;
+  // both came off disk, so bound them before anything trusts them. A page
+  // claiming more rows than the geometry allows would otherwise let the
+  // packed kernels walk past its image (the RLE catalog checks live in
+  // CodecValidatePage).
+  if (page_rows_ > dv_->values_per_page_) {
+    return Status::Corruption(
+        "data page " + std::to_string(lpn) + " claims " +
+        std::to_string(page_rows_) + " rows but the vector stores at most " +
+        std::to_string(dv_->values_per_page_) + " per page");
+  }
   // Codec view of the pinned page: the per-codec accessor every decode and
   // search below goes through (S22).
   view_.words = reinterpret_cast<const uint64_t*>(current_.page().payload());
@@ -387,6 +433,8 @@ Status PagedDataVectorIterator::Reposition(RowPos rpos, bool sequential) {
   view_.aux2 = current_.page().header()->aux2;
   view_.params = dv_->codec_.params;
   view_.kernels = nullptr;  // process-wide active SIMD tier
+  PAYG_RETURN_IF_ERROR(CodecValidatePage(dv_->codec_.id, view_,
+                                         current_.page().payload_size()));
   ++pages_touched_;
   return Status::OK();
 }

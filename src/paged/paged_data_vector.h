@@ -17,6 +17,23 @@
 
 namespace payg {
 
+// Parsed contents of a data vector meta page (page 0 of a `.dv` chain).
+struct DataVectorMeta {
+  uint64_t row_count = 0;
+  uint64_t values_per_page = 0;
+  CodecChoice codec;
+};
+
+// Parses and validates one meta-page payload. `payload_size` selects the
+// layout (24 bytes = version 0, pre-codec; 36 bytes = version 1 with the
+// codec identity) and anything else is Corruption, as is a bad version
+// word, an unknown codec id, or geometry the kernels cannot run on (bits
+// outside [1, 32], values_per_page not a positive multiple of 64). The
+// payload is untrusted input — this is the function the meta-page fuzzer
+// drives (fuzz/fuzz_meta_page).
+Status ParseDataVectorMeta(const uint8_t* payload, uint32_t payload_size,
+                           DataVectorMeta* out);
+
 // Paged data vector (§3.1): value identifiers encoded page by page with a
 // per-column codec (S22 — plain n-bit packing, FOR residuals, or RLE runs),
 // stored as a chain of disk pages. Every codec keeps a fixed number of

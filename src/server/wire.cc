@@ -360,8 +360,13 @@ Status DecodeRequest(std::string_view payload, Request* out) {
     case Op::kSelectWhere:
     case Op::kCountWhere: {
       uint32_t n = 0;
+      // Bound against the bytes actually left in the frame, not the frame
+      // size: a payload whose table string eats the frame could otherwise
+      // claim millions of predicates and force a huge resize before the
+      // first GetPredicate ever fails. Every predicate costs at least
+      // op:u8 + column-length:u32 = 5 bytes on the wire.
       ok = c.GetU32(&n) &&
-           static_cast<size_t>(n) * 2 <= payload.size();
+           static_cast<size_t>(n) * 5 <= c.data.size() - c.pos;
       if (ok) {
         out->predicates.resize(n);
         for (Predicate& p : out->predicates) {

@@ -155,6 +155,15 @@ Status PageFile::VerifyLoadedPage(LogicalPageNo lpn, Page* page,
     return Status::Corruption("page number mismatch at lpn " +
                               std::to_string(lpn) + " in " + path_);
   }
+  // Before anything walks `payload_size` bytes (the checksum below, every
+  // decoder above) it must fit the page: a corrupt header claiming 4 GB of
+  // payload would otherwise send the CRC straight past the buffer.
+  if (page->header()->payload_size > page->capacity()) {
+    return Status::Corruption("payload size " +
+                              std::to_string(page->header()->payload_size) +
+                              " exceeds page capacity at lpn " +
+                              std::to_string(lpn) + " in " + path_);
+  }
   if (opts_.verify_checksums && !page->VerifyChecksum()) {
     m_io_checksum_fail_->Inc();
     return Status::Corruption("checksum mismatch at lpn " +

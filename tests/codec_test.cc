@@ -293,6 +293,86 @@ TEST(CodecTest, RleEscapePageStoresPlain) {
   EXPECT_EQ(out, RefRange(values, 0, n, 10, 20, 0));
 }
 
+// Hostile-image gate (S26): everything the encoders emit must validate,
+// and each seeded corruption must be rejected with Corruption before any
+// kernel touches the image. Mirrors what fuzz_codec_page asserts.
+TEST(CodecTest, ValidatePageAcceptsEveryEncoderOutput) {
+  const uint32_t capacity = 64 * 1024;
+  for (uint32_t bits : {1u, 7u, 17u, 32u}) {
+    const auto values = MakeCodecValues(bits, 2048, 13 * bits);
+    for (CodecId id : kAllCodecs) {
+      const EncodedPage enc = Encode(id, values, capacity);
+      EXPECT_TRUE(
+          CodecValidatePage(id, enc.View(values.size(), nullptr), enc.size)
+              .ok())
+          << CodecName(id) << " bits=" << bits;
+    }
+  }
+  // The RLE escape image validates through the packed-bytes branch.
+  std::vector<ValueId> churn(1024);
+  for (uint64_t i = 0; i < churn.size(); ++i) {
+    churn[i] = static_cast<ValueId>(i % 97);
+  }
+  const uint32_t tight = static_cast<uint32_t>(
+      CeilDiv(churn.size(), kChunkValues) * ChunkBytes(7) + 8);
+  const EncodedPage esc = Encode(CodecId::kRle, churn, tight);
+  ASSERT_EQ(esc.aux2, kRleEscapeAux);
+  EXPECT_TRUE(
+      CodecValidatePage(CodecId::kRle, esc.View(churn.size(), nullptr),
+                        esc.size)
+          .ok());
+}
+
+TEST(CodecTest, ValidatePageRejectsSeededCorruptions) {
+  const auto values = MakeCodecValues(9, 512, 5);
+  const EncodedPage plain = Encode(CodecId::kPlain, values, 64 * 1024);
+
+  CodecPageView v = plain.View(values.size(), nullptr);
+  v.params.bits = 0;
+  EXPECT_FALSE(CodecValidatePage(CodecId::kPlain, v, plain.size).ok());
+  v.params.bits = 33;
+  EXPECT_FALSE(CodecValidatePage(CodecId::kPlain, v, plain.size).ok());
+
+  // A row count past u32 must not wrap the packed-byte bound.
+  v = plain.View(0x100000000ull, nullptr);
+  EXPECT_FALSE(CodecValidatePage(CodecId::kPlain, v, plain.size).ok());
+
+  // Payload shorter than the packed image the header claims.
+  v = plain.View(values.size(), nullptr);
+  EXPECT_FALSE(CodecValidatePage(CodecId::kPlain, v, plain.size - 64).ok());
+
+  // RLE catalog corruptions, each one mutation away from a valid page.
+  std::vector<ValueId> runs_vals(512);
+  for (uint64_t i = 0; i < runs_vals.size(); ++i) {
+    runs_vals[i] = static_cast<ValueId>(i / 64);
+  }
+  EncodedPage rle = Encode(CodecId::kRle, runs_vals, 64 * 1024);
+  ASSERT_NE(rle.aux2, kRleEscapeAux);
+  const CodecPageView good = rle.View(runs_vals.size(), nullptr);
+  ASSERT_TRUE(CodecValidatePage(CodecId::kRle, good, rle.size).ok());
+
+  v = good;
+  v.aux2 = 0;  // runs and rows disagree about emptiness
+  EXPECT_FALSE(CodecValidatePage(CodecId::kRle, v, rle.size).ok());
+  v = good;
+  v.n = static_cast<uint64_t>(v.aux2) - 1;  // more runs than rows
+  EXPECT_FALSE(CodecValidatePage(CodecId::kRle, v, rle.size).ok());
+  v = good;
+  // runs == n passes the count checks, but a 512-run catalog plus its
+  // packed values cannot fit the 8-run payload this page actually has.
+  v.aux2 = static_cast<uint32_t>(runs_vals.size());
+  EXPECT_FALSE(CodecValidatePage(CodecId::kRle, v, rle.size).ok());
+
+  uint32_t* ends = reinterpret_cast<uint32_t*>(rle.buf.data());
+  const uint32_t saved = ends[1];
+  ends[1] = ends[0];  // not strictly increasing
+  EXPECT_FALSE(CodecValidatePage(CodecId::kRle, good, rle.size).ok());
+  ends[1] = saved;
+  const uint32_t last = rle.aux2 - 1;
+  ends[last] = static_cast<uint32_t>(runs_vals.size()) + 7;  // end != n
+  EXPECT_FALSE(CodecValidatePage(CodecId::kRle, good, rle.size).ok());
+}
+
 // The (codec × kernel) native/fallback matrix, one dispatch per cell.
 TEST(CodecTest, NativeFallbackMatrix) {
   const auto values = MakeCodecValues(12, 512, 99);

@@ -398,6 +398,108 @@ TEST_F(PagedTest, DataVectorUnrecognizedMetaSizeRejected) {
       << dv.status().ToString();
 }
 
+TEST_F(PagedTest, DataVectorForBaseWrapRejected) {
+  // A hostile FOR base that would wrap residual+base past u32 makes decode
+  // disagree with the searches' residual-space translation; the meta parse
+  // is the one place the base enters the system, so it must die there.
+  WriteRawMetaChain(storage_.get(), "dv_forwrap", [](Page* meta) {
+    uint8_t* p = meta->payload();
+    const uint32_t version = 1;
+    const uint32_t bits = 8;
+    const uint64_t rows = 64, vpp = 64;
+    std::memcpy(p, &version, sizeof(version));
+    std::memcpy(p + 4, &bits, sizeof(bits));
+    std::memcpy(p + 8, &rows, sizeof(rows));
+    std::memcpy(p + 16, &vpp, sizeof(vpp));
+    p[24] = static_cast<uint8_t>(CodecId::kFor);
+    const uint32_t base = 0xFFFFFF01;  // base + 0xFF residual wraps
+    std::memcpy(p + 28, &base, sizeof(base));
+    meta->set_payload_size(36);
+  });
+  auto dv = PagedDataVector::Open(storage_.get(), rm_.get(),
+                                  PoolId::kPagedPool, "dv_forwrap");
+  ASSERT_FALSE(dv.ok());
+  EXPECT_NE(dv.status().ToString().find("overflows the 32-bit vid space"),
+            std::string::npos)
+      << dv.status().ToString();
+}
+
+TEST_F(PagedTest, ParseDataVectorMetaBoundaries) {
+  // Direct unit coverage of the parser the fuzz_meta_page target drives.
+  uint8_t buf[36] = {};
+  const uint32_t version = 1;
+  const uint32_t bits = 8;
+  const uint64_t rows = 128, vpp = 64;
+  std::memcpy(buf, &version, sizeof(version));
+  std::memcpy(buf + 4, &bits, sizeof(bits));
+  std::memcpy(buf + 8, &rows, sizeof(rows));
+  std::memcpy(buf + 16, &vpp, sizeof(vpp));
+  buf[24] = static_cast<uint8_t>(CodecId::kFor);
+
+  // Largest base that cannot wrap at 8 bits: 0xFFFFFFFF - 0xFF.
+  uint32_t base = 0xFFFFFF00;
+  std::memcpy(buf + 28, &base, sizeof(base));
+  DataVectorMeta meta;
+  ASSERT_TRUE(ParseDataVectorMeta(buf, sizeof(buf), &meta).ok());
+  EXPECT_EQ(meta.codec.id, CodecId::kFor);
+  EXPECT_EQ(meta.codec.params.for_base, base);
+  EXPECT_EQ(meta.row_count, rows);
+  EXPECT_EQ(meta.values_per_page, vpp);
+
+  base = 0xFFFFFF01;  // one past the boundary
+  std::memcpy(buf + 28, &base, sizeof(base));
+  EXPECT_TRUE(ParseDataVectorMeta(buf, sizeof(buf), &meta).IsCorruption());
+
+  // The v0 layout parses as plain with no base.
+  uint8_t v0[24] = {};
+  std::memcpy(v0, &bits, sizeof(bits));
+  std::memcpy(v0 + 8, &rows, sizeof(rows));
+  std::memcpy(v0 + 16, &vpp, sizeof(vpp));
+  ASSERT_TRUE(ParseDataVectorMeta(v0, sizeof(v0), &meta).ok());
+  EXPECT_EQ(meta.codec.id, CodecId::kPlain);
+  EXPECT_EQ(meta.codec.params.for_base, 0u);
+}
+
+TEST_F(PagedTest, DataVectorOverclaimedPageRowCountRejected) {
+  auto vids = RandomVids(20000, 500, 11);
+  {
+    auto dv = PagedDataVector::Build(storage_.get(), rm_.get(),
+                                     PoolId::kPagedPool, "dv_auxlie", vids);
+    ASSERT_TRUE(dv.ok()) << dv.status().ToString();
+  }
+  storage_.reset();
+  // Patch the first data page's header `aux` (rows in page) to claim more
+  // rows than values_per_page allows. The header sits outside the payload
+  // CRC, so only the paged layer's own bound can catch the lie.
+  {
+    const std::string path = dir_ + "/dv_auxlie.dv";
+    FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    const uint32_t lie = 0x00FFFFFF;
+    ASSERT_EQ(std::fseek(f, 4096 + 28, SEEK_SET), 0);
+    ASSERT_EQ(std::fwrite(&lie, sizeof(lie), 1, f), 1u);
+    std::fclose(f);
+  }
+  StorageOptions opts;
+  opts.page_size = 4096;
+  opts.dict_page_size = 8192;
+  auto sm = StorageManager::Open(dir_, opts);
+  ASSERT_TRUE(sm.ok());
+  storage_ = std::move(*sm);
+
+  auto dv = PagedDataVector::Open(storage_.get(), rm_.get(),
+                                  PoolId::kPagedPool, "dv_auxlie");
+  Status s;
+  if (dv.ok()) {
+    PagedDataVectorIterator it(dv->get());
+    std::vector<ValueId> got;
+    s = it.MGet(0, 100, &got);
+  } else {
+    s = dv.status();
+  }
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
 // ---------------------------------------------------------------------------
 // PagedDictionary
 // ---------------------------------------------------------------------------

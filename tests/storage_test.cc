@@ -134,6 +134,37 @@ TEST_F(StorageTest, CorruptionIsDetected) {
   EXPECT_TRUE(s.IsCorruption()) << s.ToString();
 }
 
+TEST_F(StorageTest, OversizedPayloadSizeRejected) {
+  // A header claiming more payload than the page holds must be rejected
+  // before anything (the CRC walk included) strides payload_size bytes.
+  auto file = storage_->CreateChain("oversize", 4096);
+  ASSERT_TRUE(file.ok());
+  Page p(4096);
+  std::memcpy(p.payload(), "payload", 7);
+  p.set_payload_size(7);
+  ASSERT_TRUE((*file)->AppendPage(&p).ok());
+  file->reset();
+
+  // payload_size lives at header offset 24 (magic + version/type + lpn +
+  // structure_id), outside the payload CRC.
+  {
+    std::string path = dir_ + "/oversize";
+    FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    const uint32_t huge = 0xFFFFFFF0u;
+    ASSERT_EQ(std::fseek(f, 24, SEEK_SET), 0);
+    ASSERT_EQ(std::fwrite(&huge, sizeof(huge), 1, f), 1u);
+    std::fclose(f);
+  }
+  auto reopened = storage_->OpenChain("oversize", 4096);
+  ASSERT_TRUE(reopened.ok());
+  Page q(4096);
+  auto s = (*reopened)->ReadPage(0, &q);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_NE(s.ToString().find("exceeds page capacity"), std::string::npos)
+      << s.ToString();
+}
+
 TEST_F(StorageTest, MismatchedPageSizeOnOpenFails) {
   {
     auto file = storage_->CreateChain("sized", 4096);
